@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes the complete registry in quick mode
+// with captured output — the end-to-end integration test of the whole
+// repository (graphs, partitioners, schedulers, simulator, bounds,
+// parallel extension).
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiments skipped in -short mode")
+	}
+	old := stdout
+	defer func() { stdout = old }()
+	cfg := runConfig{full: false, seed: 1}
+	for _, e := range registry {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			stdout = &buf
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.id+":") {
+				t.Errorf("%s output missing its header:\n%s", e.id, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("%s output suspiciously short:\n%s", e.id, out)
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := map[string]bool{}
+	for i := 1; i <= 18; i++ {
+		if i == 14 {
+			continue // E14 is the real-memory benchmark in bench_test.go
+		}
+		want[expID(i)] = false
+	}
+	for _, e := range registry {
+		if _, ok := want[e.id]; !ok {
+			t.Errorf("unexpected experiment %s", e.id)
+			continue
+		}
+		want[e.id] = true
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func expID(i int) string { return fmt.Sprintf("E%d", i) }
+
+func TestExperimentOrder(t *testing.T) {
+	if experimentOrder("E2") >= experimentOrder("E10") {
+		t.Error("E2 should sort before E10")
+	}
+	if experimentOrder("E15") != 15 {
+		t.Errorf("order(E15) = %d", experimentOrder("E15"))
+	}
+}

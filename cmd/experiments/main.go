@@ -1,0 +1,91 @@
+// Command experiments regenerates every experiment recorded in
+// EXPERIMENTS.md: the empirical validation of the paper's theorems
+// (lower/upper bound sandwich, partitioned-vs-baseline comparisons,
+// parameter sweeps, ablations) on the DAM cache simulator.
+//
+// Usage:
+//
+//	experiments [-run E1,E4] [-full] [-seed N]
+//
+// By default every experiment runs with moderate ("quick") parameters;
+// -full enlarges graphs and measurement windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// experiment is a registered, reproducible experiment.
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg runConfig) error
+}
+
+type runConfig struct {
+	full bool
+	seed int64
+}
+
+var registry []experiment
+
+func register(id, title string, run func(runConfig) error) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	full := flag.Bool("full", false, "use full-size parameters (slower)")
+	seed := flag.Int64("seed", 1, "seed for randomized workloads")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool {
+		return experimentOrder(registry[i].id) < experimentOrder(registry[j].id)
+	})
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	cfg := runConfig{full: *full, seed: *seed}
+	failed := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed++
+		}
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// experimentOrder sorts E2 before E10.
+func experimentOrder(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}

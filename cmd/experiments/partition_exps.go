@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamsched/internal/partition"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/report"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sdf"
+	"streamsched/workloads"
+)
+
+func init() {
+	register("E3", "Tab 1: partitioner bandwidth comparison across workloads", runE3)
+	register("E9", "Tab 3: heuristic vs exact partitions on small random dags", runE9)
+}
+
+// runE3 compares the bandwidth achieved by each partitioner on the
+// workload suite. Expected shape: the pipeline DP matches or beats
+// Theorem 5's construction; interval+local-search and agglomerative track
+// each other on dags; all stay within small factors.
+func runE3(cfg runConfig) error {
+	m := int64(512)
+	graphs, err := workloads.Suite(m)
+	if err != nil {
+		return err
+	}
+	extra, err := uniformPipeline("uniform-pipeline", 34, m/4)
+	if err != nil {
+		return err
+	}
+	long, err := uniformPipeline("long-pipeline", 130, m/4)
+	if err != nil {
+		return err
+	}
+	graphs = append(graphs, extra, long)
+	tb := report.NewTable(
+		fmt.Sprintf("E3: scaled bandwidth by partitioner (bound=M=%d except theorem5, whose components may reach 8M; dp@8M is the fair comparison)", m),
+		"workload", "nodes", "state", "theorem5", "dp@8M", "interval-dp", "agglomerative", "interval+LS", "components(best)")
+	for _, g := range graphs {
+		row := []string{g.Name(), report.I(int64(g.NumNodes())), report.I(g.TotalState())}
+		if g.IsPipeline() {
+			p5, err := partition.PipelineTheorem5(g, m)
+			if err != nil {
+				return err
+			}
+			row = append(row, report.I(p5.BandwidthScaled(g)))
+			dp8, err := partition.PipelineOptimalDP(g, 8*m)
+			if err != nil {
+				return err
+			}
+			row = append(row, report.I(dp8.BandwidthScaled(g)))
+		} else {
+			row = append(row, "-", "-")
+		}
+		best, err := partition.BestInterval(g, m)
+		if err != nil {
+			return err
+		}
+		row = append(row, report.I(best.BandwidthScaled(g)))
+		agg, err := partition.Agglomerative(g, m)
+		if err != nil {
+			return err
+		}
+		row = append(row, report.I(agg.BandwidthScaled(g)))
+		ls, err := partition.LocalSearch(g, best, m, cfg.seed, 0)
+		if err != nil {
+			return err
+		}
+		row = append(row, report.I(ls.BandwidthScaled(g)))
+		winner := ls
+		if agg.BandwidthScaled(g) < winner.BandwidthScaled(g) {
+			winner = agg
+		}
+		row = append(row, report.I(int64(winner.K)))
+		tb.Add(row...)
+	}
+	return tb.Render(stdout)
+}
+
+// runE9 measures heuristic quality against the exact order-ideal DP on
+// small random dags, and (Corollary 9) shows the schedule cost tracks the
+// partition's bandwidth ratio alpha.
+func runE9(cfg runConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	trials := 12
+	if cfg.full {
+		trials = 40
+	}
+	bound := int64(64)
+	tb := report.NewTable(
+		fmt.Sprintf("E9: heuristic bandwidth / exact minBW (bound=%d, %d random dags up to %d nodes)",
+			bound, trials, 12),
+		"generator", "trials", "alpha(interval) avg", "alpha(interval) max", "alpha(agglo) avg", "alpha(agglo) max", "exact=heuristic")
+	type agg struct {
+		n              int
+		sumInt, maxInt float64
+		sumAgg, maxAgg float64
+		ties           int
+	}
+	stats := map[string]*agg{}
+	build := func(i int) (*sdf.Graph, string, error) {
+		switch i % 3 {
+		case 0:
+			g, err := randgraph.RandomLayeredDag(rng, randgraph.LayeredSpec{
+				Layers: 2 + rng.Intn(2), Width: 2, StateMin: 8, StateMax: 48, ExtraEdges: 1,
+			})
+			return g, "layered", err
+		case 1:
+			g, err := randgraph.RandomSplitJoin(rng, randgraph.SplitJoinSpec{
+				Branches: 2, BranchDepth: 2 + rng.Intn(2), StateMin: 8, StateMax: 48, RateMax: 2,
+			})
+			return g, "splitjoin", err
+		default:
+			g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+				Nodes: 6 + rng.Intn(5), StateMin: 8, StateMax: 48, RateMax: 2,
+			})
+			return g, "pipeline", err
+		}
+	}
+	for i := 0; i < trials; i++ {
+		g, kind, err := build(i)
+		if err != nil {
+			return err
+		}
+		exact, err := partition.Exact(g, bound)
+		if err != nil {
+			return err
+		}
+		lo := exact.BandwidthScaled(g)
+		iv, err := partition.BestInterval(g, bound)
+		if err != nil {
+			return err
+		}
+		ag, err := partition.Agglomerative(g, bound)
+		if err != nil {
+			return err
+		}
+		st := stats[kind]
+		if st == nil {
+			st = &agg{}
+			stats[kind] = st
+		}
+		st.n++
+		ai := alpha(iv.BandwidthScaled(g), lo)
+		aa := alpha(ag.BandwidthScaled(g), lo)
+		st.sumInt += ai
+		st.sumAgg += aa
+		if ai > st.maxInt {
+			st.maxInt = ai
+		}
+		if aa > st.maxAgg {
+			st.maxAgg = aa
+		}
+		if ai == 1 || aa == 1 {
+			st.ties++
+		}
+	}
+	for _, kind := range []string{"layered", "splitjoin", "pipeline"} {
+		st := stats[kind]
+		if st == nil || st.n == 0 {
+			continue
+		}
+		tb.Add(kind, report.I(int64(st.n)),
+			report.F(st.sumInt/float64(st.n)), report.F(st.maxInt),
+			report.F(st.sumAgg/float64(st.n)), report.F(st.maxAgg),
+			fmt.Sprintf("%d/%d", st.ties, st.n))
+	}
+	if err := tb.Render(stdout); err != nil {
+		return err
+	}
+	// Corollary 9 spot check: schedule one dag with the exact partition and
+	// with a deliberately worse one; cost ratio should track alpha.
+	g, err := fanDag("fan8", 8, 96)
+	if err != nil {
+		return err
+	}
+	env := schedule.Env{M: 192, B: 16}
+	exact, err := partition.Exact(g, env.M)
+	if err != nil {
+		return err
+	}
+	single := partition.Singleton(g)
+	resExact, err := measure(g, schedule.PartitionedHomogeneous{P: exact}, env, 2*env.M, 512, 1024)
+	if err != nil {
+		return err
+	}
+	resSingle, err := measure(g, schedule.PartitionedHomogeneous{P: single}, env, 2*env.M, 512, 1024)
+	if err != nil {
+		return err
+	}
+	a := alpha(single.BandwidthScaled(g), exact.BandwidthScaled(g))
+	fmt.Fprintf(stdout,
+		"Corollary 9 spot check (fan8): alpha(singleton/exact)=%.2f, cost ratio=%.2f (misses/item %.3f vs %.3f)\n",
+		a, resSingle.MissesPerItem/resExact.MissesPerItem,
+		resSingle.MissesPerItem, resExact.MissesPerItem)
+	return nil
+}
+
+func alpha(heur, exact int64) float64 {
+	if exact == 0 {
+		if heur == 0 {
+			return 1
+		}
+		return float64(heur) // exact found a zero-bandwidth partition
+	}
+	return float64(heur) / float64(exact)
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/lowerbound"
+	"streamsched/internal/partition"
+	"streamsched/internal/report"
+	"streamsched/internal/schedule"
+)
+
+func init() {
+	register("E1", "Fig 1: pipeline misses/item vs cache size M (5 schedulers)", runE1)
+	register("E2", "Fig 2: pipeline misses/item vs pipeline length", runE2)
+	register("E4", "Fig 3: lower/upper bound sandwich (Theorems 3 & 5)", runE4)
+	register("E5", "Fig 4: cache augmentation sweep", runE5)
+	register("E8", "Fig 6: block size sweep (1/B scaling)", runE8)
+}
+
+// runE1 sweeps M for a fixed oversized pipeline. Expected shape: baselines
+// pay ~totalState/B per item until the whole graph fits; the partitioned
+// schedule stays near bandwidth(P)/B throughout.
+func runE1(cfg runConfig) error {
+	n, state := 34, int64(128)
+	warm, meas := int64(512), int64(2048)
+	if cfg.full {
+		n, meas = 66, 8192
+	}
+	g, err := uniformPipeline("uniform-pipeline", n, state)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("E1: misses/item vs M (pipeline n=%d, state=%d/module, total=%d, B=16, cache=2M)",
+			n, state, g.TotalState()),
+		"M", "flat-topo", "scaled(s=4)", "demand-driven", "kohli-greedy", "partitioned")
+	for _, m := range []int64{128, 256, 512, 1024, 2048, 4096} {
+		env := schedule.Env{M: m, B: 16}
+		row := []string{report.I(m)}
+		scheds := append(baselineSchedulers(), schedule.PartitionedPipeline{})
+		for _, s := range scheds {
+			res, err := measure(g, s, env, 2*m, warm, meas)
+			if err != nil {
+				return fmt.Errorf("M=%d %s: %w", m, s.Name(), err)
+			}
+			row = append(row, report.F(res.MissesPerItem))
+		}
+		tb.Add(row...)
+	}
+	return tb.Render(stdout)
+}
+
+// runE2 sweeps pipeline length at fixed M. Expected shape: baseline
+// misses/item grow linearly with length (state reloads); partitioned
+// misses/item grow only with the number of cuts per item, i.e. stay near
+// (#segments)/B after normalizing.
+func runE2(cfg runConfig) error {
+	state := int64(128)
+	m := int64(256)
+	warm, meas := int64(512), int64(2048)
+	lengths := []int{10, 18, 34, 66}
+	if cfg.full {
+		lengths = append(lengths, 130, 258)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("E2: misses/item vs pipeline length (M=%d, B=16, state=%d/module, cache=2M)", m, state),
+		"modules", "total-state", "flat-topo", "partitioned", "flat/partitioned")
+	env := schedule.Env{M: m, B: 16}
+	for _, n := range lengths {
+		g, err := uniformPipeline("uniform-pipeline", n, state)
+		if err != nil {
+			return err
+		}
+		flat, err := measure(g, schedule.FlatTopo{}, env, 2*m, warm, meas)
+		if err != nil {
+			return err
+		}
+		part, err := measure(g, schedule.PartitionedPipeline{}, env, 2*m, warm, meas)
+		if err != nil {
+			return err
+		}
+		tb.Add(report.I(int64(n)), report.I(g.TotalState()),
+			report.F(flat.MissesPerItem), report.F(part.MissesPerItem),
+			report.Ratio(flat.MissesPerItem, part.MissesPerItem))
+	}
+	return tb.Render(stdout)
+}
+
+// runE4 reports the Theorem 3 / Theorem 5 sandwich: every scheduler's
+// measured misses per source firing is at least a fraction of the lower
+// bound, and the partitioned schedule (with O(1) augmentation) is within a
+// constant factor of it.
+func runE4(cfg runConfig) error {
+	warm, meas := int64(1024), int64(4096)
+	if cfg.full {
+		meas = 16384
+	}
+	type pipelineCase struct {
+		name  string
+		n     int
+		state int64
+		m     int64
+	}
+	cases := []pipelineCase{
+		{"n18-s128-M256", 18, 128, 256},
+		{"n34-s128-M256", 34, 128, 256},
+		{"n34-s256-M512", 34, 256, 512},
+	}
+	tb := report.NewTable(
+		"E4: measured misses/source-firing vs Theorem 3 lower bound (LB = bandwidth/B; cache=M for baselines, 4M for partitioned)",
+		"pipeline", "LB", "flat/LB", "demand/LB", "kohli/LB", "partitioned/LB", "partitioned/(bw(P)/B)")
+	for _, c := range cases {
+		g, err := uniformPipeline(c.name, c.n, c.state)
+		if err != nil {
+			return err
+		}
+		env := schedule.Env{M: c.m, B: 16}
+		bound, err := lowerbound.Pipeline(g, c.m, 16)
+		if err != nil {
+			return err
+		}
+		row := []string{c.name, report.F(bound.PerSourceFiring)}
+		for _, s := range []schedule.Scheduler{
+			schedule.FlatTopo{}, schedule.DemandDriven{}, schedule.KohliGreedy{},
+		} {
+			res, err := measure(g, s, env, c.m, warm, meas)
+			if err != nil {
+				return err
+			}
+			row = append(row, report.Ratio(missesPerFiring(res), bound.PerSourceFiring))
+		}
+		part, err := measure(g, schedule.PartitionedPipeline{}, env, 4*c.m, warm, meas)
+		if err != nil {
+			return err
+		}
+		row = append(row, report.Ratio(missesPerFiring(part), bound.PerSourceFiring))
+		// Upper-bound check: measured vs the partition's own bandwidth/B.
+		p, err := partition.PipelineOptimalDP(g, c.m)
+		if err != nil {
+			return err
+		}
+		bw, err := p.Bandwidth(g)
+		if err != nil {
+			return err
+		}
+		upper := bw.Float() / 16
+		row = append(row, report.Ratio(missesPerFiring(part), upper))
+		tb.Add(row...)
+	}
+	return tb.Render(stdout)
+}
+
+// runE5 sweeps the augmentation factor: the partitioned scheduler designed
+// for M running on a cache of c·M, versus the flat baseline on M.
+func runE5(cfg runConfig) error {
+	n, state, m := 34, int64(128), int64(256)
+	warm, meas := int64(512), int64(2048)
+	if cfg.full {
+		meas = 8192
+	}
+	g, err := uniformPipeline("uniform-pipeline", n, state)
+	if err != nil {
+		return err
+	}
+	env := schedule.Env{M: m, B: 16}
+	flat, err := measure(g, schedule.FlatTopo{}, env, m, warm, meas)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("E5: augmentation sweep (pipeline n=%d, state=%d, M=%d, B=16; flat baseline at cache=M: %s misses/item)",
+			n, state, m, report.F(flat.MissesPerItem)),
+		"cache", "partitioned misses/item", "speedup vs flat@M")
+	for _, c := range []int64{1, 2, 4, 8} {
+		res, err := measure(g, schedule.PartitionedPipeline{}, env, c*m, warm, meas)
+		if err != nil {
+			return err
+		}
+		tb.Add(fmt.Sprintf("%dM", c), report.F(res.MissesPerItem),
+			report.Ratio(flat.MissesPerItem, res.MissesPerItem))
+	}
+	return tb.Render(stdout)
+}
+
+// runE8 sweeps block size B: the partitioned schedule's misses/item should
+// scale as 1/B, so misses/item × B stays near constant.
+func runE8(cfg runConfig) error {
+	n, state, m := 34, int64(128), int64(512)
+	warm, meas := int64(512), int64(2048)
+	if cfg.full {
+		meas = 8192
+	}
+	g, err := uniformPipeline("uniform-pipeline", n, state)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("E8: block size sweep (pipeline n=%d, state=%d, M=%d, cache=2M)", n, state, m),
+		"B", "partitioned misses/item", "misses/item x B", "flat misses/item", "flat x B")
+	for _, b := range []int64{8, 16, 32, 64, 128} {
+		env := schedule.Env{M: m, B: b}
+		cacheCfg := cachesim.Config{Capacity: 2 * m, Block: b}
+		part, err := schedule.Measure(g, schedule.PartitionedPipeline{}, env, cacheCfg, warm, meas)
+		if err != nil {
+			return err
+		}
+		flat, err := schedule.Measure(g, schedule.FlatTopo{}, env, cacheCfg, warm, meas)
+		if err != nil {
+			return err
+		}
+		tb.Add(report.I(b),
+			report.F(part.MissesPerItem), report.F(part.MissesPerItem*float64(b)),
+			report.F(flat.MissesPerItem), report.F(flat.MissesPerItem*float64(b)))
+	}
+	return tb.Render(stdout)
+}

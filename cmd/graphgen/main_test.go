@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"streamsched/internal/sdf"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"pipeline", "layered", "splitjoin"} {
+		var sb strings.Builder
+		if err := generate([]string{"-kind", kind, "-seed", "3", "-ratemax", "2"}, &sb); err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		g, err := sdf.ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Errorf("%s output not a valid graph: %v", kind, err)
+			continue
+		}
+		if g.NumNodes() < 3 {
+			t.Errorf("%s graph too small", kind)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := generate([]string{"-kind", "bogus"}, &sb); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := generate([]string{"-nodes", "x"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := generate([]string{"-kind", "pipeline", "-nodes", "1"}, &sb); err == nil {
+		t.Error("nodes=1 accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() string {
+		var sb strings.Builder
+		if err := generate([]string{"-kind", "layered", "-seed", "9"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different output")
+	}
+}

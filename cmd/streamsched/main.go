@@ -1,0 +1,23 @@
+// Command streamsched is a CLI over the streamsched library: inspect,
+// partition, and simulate streaming graphs stored in the JSON interchange
+// format.
+//
+// Usage:
+//
+//	streamsched info <graph.json>
+//	streamsched partition -M 512 [-algo auto] [-dot out.dot] <graph.json>
+//	streamsched simulate -M 512 -B 16 [-cache 1024] [-sched partitioned] <graph.json>
+//	streamsched export -workload fmradio [-o graph.json]
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsched:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamsched/internal/schedule"
+)
+
+// writeGraph exports a workload to a temp file and returns its path.
+func writeGraph(t *testing.T, workload string, scale int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), workload+".json")
+	var sb strings.Builder
+	if err := run([]string{"export", "-workload", workload, "-scale", strconv.FormatInt(scale, 10)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); !errors.Is(err, errUsage) {
+		t.Errorf("empty args: %v", err)
+	}
+	if err := run([]string{"bogus"}, &sb); !errors.Is(err, errUsage) {
+		t.Errorf("bogus cmd: %v", err)
+	}
+	if err := run([]string{"help"}, &sb); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if !strings.Contains(sb.String(), "usage") {
+		t.Error("help output missing usage")
+	}
+}
+
+func TestInfoCommand(t *testing.T) {
+	path := writeGraph(t, "des", 64)
+	var sb strings.Builder
+	if err := run([]string{"info", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"pipeline", "round0", "channels", "minBuf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q", want)
+		}
+	}
+	if err := run([]string{"info", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"info"}, &sb); !errors.Is(err, errUsage) {
+		t.Errorf("no file: %v", err)
+	}
+}
+
+func TestPartitionCommand(t *testing.T) {
+	path := writeGraph(t, "des", 128)
+	dot := filepath.Join(t.TempDir(), "p.dot")
+	var sb strings.Builder
+	if err := run([]string{"partition", "-M", "256", "-algo", "dp", "-dot", dot, path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "components") {
+		t.Errorf("partition output: %s", sb.String())
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(data), "digraph") {
+		t.Errorf("dot output: %v", err)
+	}
+	if err := run([]string{"partition", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+	if err := run([]string{"partition", "-M", "256", "-algo", "nope", path}, &sb); err == nil {
+		t.Error("bad algo accepted")
+	}
+}
+
+func TestPartitionAlgos(t *testing.T) {
+	path := writeGraph(t, "fmradio", 32)
+	for _, algo := range []string{"auto", "interval", "agglomerative"} {
+		var sb strings.Builder
+		if err := run([]string{"partition", "-M", "128", "-algo", algo, path}, &sb); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	// theorem5/dp require pipelines.
+	var sb strings.Builder
+	if err := run([]string{"partition", "-M", "128", "-algo", "theorem5", path}, &sb); err == nil {
+		t.Error("theorem5 accepted a dag")
+	}
+}
+
+func TestSimulateCommand(t *testing.T) {
+	path := writeGraph(t, "des", 128)
+	for _, sched := range []string{"flat", "scaled", "demand", "kohli", "partitioned"} {
+		var sb strings.Builder
+		err := run([]string{"simulate", "-M", "256", "-B", "16", "-sched", sched,
+			"-warm", "128", "-measure", "256", path}, &sb)
+		if err != nil {
+			t.Errorf("%s: %v", sched, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), "misses:") {
+			t.Errorf("%s output missing misses", sched)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"simulate", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+	if err := run([]string{"simulate", "-M", "256", "-sched", "nope", path}, &sb); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+}
+
+func TestBoundCommand(t *testing.T) {
+	path := writeGraph(t, "des", 128)
+	var sb strings.Builder
+	if err := run([]string{"bound", "-M", "256", "-B", "16", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lower bound (exact)") {
+		t.Errorf("bound output: %s", sb.String())
+	}
+	// A dag goes through the exact or heuristic path depending on size;
+	// either way a bound is reported.
+	fm := writeGraph(t, "fmradio", 16)
+	sb.Reset()
+	if err := run([]string{"bound", "-M", "64", "-B", "16", fm}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lower bound") {
+		t.Errorf("dag bound output: %s", sb.String())
+	}
+	if err := run([]string{"bound", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+}
+
+func TestExportAllWorkloads(t *testing.T) {
+	for _, w := range []string{"fmradio", "filterbank", "beamformer", "fft", "bitonic", "des", "mp3"} {
+		var sb strings.Builder
+		if err := run([]string{"export", "-workload", w, "-scale", "32"}, &sb); err != nil {
+			t.Errorf("%s: %v", w, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), "\"edges\"") {
+			t.Errorf("%s export missing edges", w)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"export", "-workload", "nope"}, &sb); err == nil {
+		t.Error("bad workload accepted")
+	}
+	// Export to file.
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := run([]string{"export", "-workload", "des", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Error("export -o did not create file")
+	}
+}
+
+func TestBuffersCommand(t *testing.T) {
+	path := writeGraph(t, "mp3", 128)
+	var sb strings.Builder
+	if err := run([]string{"buffers", "-M", "512", "-probe", "1024", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"buffer utilization", "cross", "total buffer words"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("buffers output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"buffers", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+	if err := run([]string{"buffers", "-M", "512", "-sched", "nope", path}, &sb); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+}
+
+func TestCompileCommand(t *testing.T) {
+	path := writeGraph(t, "des", 128)
+	outFile := filepath.Join(t.TempDir(), "sched.txt")
+	var sb strings.Builder
+	if err := run([]string{"compile", "-M", "512", "-o", outFile, path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "period") {
+		t.Errorf("compile output: %s", sb.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := schedule.ReadCompiled(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("compiled output does not parse: %v", err)
+	}
+	if len(c.Period) == 0 {
+		t.Error("empty period in compiled file")
+	}
+	if err := run([]string{"compile", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"64", 64}, {"4k", 4096}, {"2K", 2048}, {"1m", 1 << 20}, {"1M", 1 << 20},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v", c.in, got, err)
+		}
+	}
+	if _, err := parseSize("x"); err == nil {
+		t.Error("parseSize(x) accepted")
+	}
+}

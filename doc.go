@@ -1,0 +1,28 @@
+// Package streamsched is a cache-conscious scheduler for streaming
+// (synchronous dataflow) applications, reproducing "Cache-Conscious
+// Scheduling of Streaming Applications" (Agrawal, Fineman, Krage,
+// Leiserson, Toledo; SPAA 2012).
+//
+// The library models a streaming program as a dag of modules connected by
+// FIFO channels with fixed production/consumption rates, and schedules it
+// on a single processor (or simulated multiprocessor) to minimize cache
+// misses in the external-memory (I/O) model: a cache of M words in blocks
+// of B words in front of slow memory.
+//
+// The paper's central reduction — cache-efficient scheduling is equivalent
+// to finding a low-bandwidth well-ordered partition of the graph into
+// cache-sized components — drives the API:
+//
+//	g, _ := streamsched.NewGraph("pipeline")... // or workloads.FMRadio(...)
+//	env := streamsched.Env{M: 4096, B: 64}
+//	p, _ := streamsched.Partition(g, env.M)     // partition the graph
+//	s := streamsched.AutoScheduler(g)           // partitioned scheduler
+//	res, _ := streamsched.Simulate(g, s, env, streamsched.CacheConfig{
+//		Capacity: 2 * env.M, Block: env.B,
+//	}, 10_000, 100_000)
+//	fmt.Println(res.MissesPerItem)
+//
+// Subpackage workloads provides parameterised topologies of classic
+// streaming applications; cmd/experiments regenerates every experiment in
+// EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.
+package streamsched

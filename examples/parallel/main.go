@@ -1,0 +1,49 @@
+// Parallel: the paper's asynchronous extension (§3) — any processor may
+// claim any component whose input cross edges are full and output cross
+// edges empty. This example runs a wide beamformer on 1..8 simulated
+// processors with private caches and reports the I/O-model makespan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamsched"
+	"streamsched/workloads"
+)
+
+func main() {
+	g, err := workloads.Beamformer(8, 4, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+
+	env := streamsched.Env{M: 1024, B: 32}
+	p, err := streamsched.PartitionGraph(g, env.M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partition: %d components (claimable units of work)\n\n", p.K)
+
+	var base int64
+	fmt.Printf("%4s  %14s  %8s  %12s\n", "P", "makespan(blk)", "speedup", "total misses")
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := streamsched.SimulateParallel(g, p, streamsched.ParallelConfig{
+			Procs: procs,
+			Env:   env,
+			Cache: streamsched.CacheConfig{Capacity: 2 * env.M, Block: env.B},
+		}, 20_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if procs == 1 {
+			base = res.MakespanBlocks
+		}
+		fmt.Printf("%4d  %14d  %7.2fx  %12d\n",
+			procs, res.MakespanBlocks,
+			float64(base)/float64(res.MakespanBlocks), res.TotalMisses)
+	}
+	fmt.Println("\nTotal misses stay near the uniprocessor count — the partition")
+	fmt.Println("bounds communication — while the makespan drops with P.")
+}

@@ -1,0 +1,243 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamsched/internal/cachesim"
+)
+
+func region(base, size int64) cachesim.Region { return cachesim.Region{Base: base, Size: size} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(region(0, 10), 0, false); !errors.Is(err, ErrBadCap) {
+		t.Errorf("cap 0 err = %v", err)
+	}
+	if _, err := New(region(0, 4), 8, false); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("small region err = %v", err)
+	}
+	f, err := New(region(0, 8), 8, true)
+	if err != nil || f.Cap() != 8 || !f.HasValues() {
+		t.Errorf("valid FIFO: %v, %v", f, err)
+	}
+}
+
+func TestPushPopValues(t *testing.T) {
+	f, _ := New(region(0, 4), 4, true)
+	for i := int64(1); i <= 4; i++ {
+		if err := f.Push(nil, i*10); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := f.Push(nil, 99); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow err = %v", err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		v, err := f.Pop(nil)
+		if err != nil || v != i*10 {
+			t.Fatalf("pop %d = %d, %v", i, v, err)
+		}
+	}
+	if _, err := f.Pop(nil); !errors.Is(err, ErrUnderflow) {
+		t.Errorf("underflow err = %v", err)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	f, _ := New(region(0, 3), 3, true)
+	vals := []int64{}
+	next := int64(0)
+	for round := 0; round < 10; round++ {
+		for f.Space() > 0 {
+			if err := f.Push(nil, next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for f.Len() > 0 {
+			v, err := f.Pop(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, v)
+		}
+	}
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("vals[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	f, _ := New(region(0, 8), 8, true)
+	if err := f.PushN(nil, 5, []int64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, 3)
+	if err := f.PopN(nil, 3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 1 || dst[2] != 3 {
+		t.Errorf("dst = %v", dst)
+	}
+	if f.Len() != 2 {
+		t.Errorf("len = %d, want 2", f.Len())
+	}
+	// Mismatched value slice length.
+	if err := f.PushN(nil, 2, []int64{7}); err == nil {
+		t.Error("bad vals length accepted")
+	}
+	if err := f.PopN(nil, 2, make([]int64, 1)); err == nil {
+		t.Error("short dst accepted")
+	}
+	// Zero and negative counts.
+	if err := f.PushN(nil, 0, nil); err != nil {
+		t.Error("PushN(0) should be a no-op")
+	}
+	if err := f.PushN(nil, -1, nil); err == nil {
+		t.Error("PushN(-1) accepted")
+	}
+	if err := f.PopN(nil, -1, nil); err == nil {
+		t.Error("PopN(-1) accepted")
+	}
+}
+
+func TestCacheCharging(t *testing.T) {
+	c, err := cachesim.New(cachesim.Config{Capacity: 64, Block: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := New(region(0, 16), 16, false)
+	if err := f.PushN(c, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Words 0..7 span 2 blocks; both are write misses.
+	s := c.Stats()
+	if s.Accesses != 2 || s.Misses != 2 {
+		t.Errorf("stats after push = %+v", s)
+	}
+	if err := f.PopN(c, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Hits != 2 {
+		t.Errorf("pop should hit cached blocks: %+v", s)
+	}
+}
+
+func TestWraparoundCacheRanges(t *testing.T) {
+	// Capacity 10, fill 8, drain 8, push 6: positions 8,9,0,1,2,3 -> two
+	// ranges. Verify it does not error and occupancy is right; the address
+	// split is exercised via a tiny cache.
+	c, err := cachesim.New(cachesim.Config{Capacity: 16, Block: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := New(region(100, 10), 10, false)
+	if err := f.PushN(c, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PopN(c, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if err := f.PushN(c, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Accesses != 6 {
+		t.Errorf("accesses = %d, want 6", c.Stats().Accesses)
+	}
+	if !c.Resident(108, 2) || !c.Resident(100, 4) {
+		t.Error("wrapped ranges not resident")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	f, _ := New(region(0, 4), 4, false)
+	_ = f.PushN(nil, 3, nil)
+	_ = f.PopN(nil, 1, nil)
+	_ = f.PushN(nil, 2, nil)
+	if f.Pushed() != 5 || f.Popped() != 1 || f.Len() != 4 {
+		t.Errorf("counters: pushed=%d popped=%d len=%d", f.Pushed(), f.Popped(), f.Len())
+	}
+	if f.HighWater() != 4 {
+		t.Errorf("highwater = %d, want 4", f.HighWater())
+	}
+	if f.Space() != 0 {
+		t.Errorf("space = %d", f.Space())
+	}
+}
+
+// TestPropFIFOMatchesSliceModel drives a FIFO and a plain-slice model with
+// the same random operations and checks observational equivalence.
+func TestPropFIFOMatchesSliceModel(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int64(capRaw%16) + 1
+		fifo, err := New(region(0, capacity), capacity, true)
+		if err != nil {
+			return false
+		}
+		var model []int64
+		rng := rand.New(rand.NewSource(seed))
+		next := int64(0)
+		for op := 0; op < 300; op++ {
+			if rng.Intn(2) == 0 {
+				n := rng.Int63n(4) + 1
+				vals := make([]int64, n)
+				for i := range vals {
+					vals[i] = next
+					next++
+				}
+				err := fifo.PushN(nil, n, vals)
+				if fifo.Len() > fifo.Cap() {
+					return false
+				}
+				if int64(len(model))+n <= capacity {
+					if err != nil {
+						return false
+					}
+					model = append(model, vals...)
+				} else {
+					if err == nil {
+						return false
+					}
+					next -= n // roll back generator on failed push
+				}
+			} else {
+				n := rng.Int63n(4) + 1
+				dst := make([]int64, n)
+				err := fifo.PopN(nil, n, dst)
+				if int64(len(model)) >= n {
+					if err != nil {
+						return false
+					}
+					for i := int64(0); i < n; i++ {
+						if dst[i] != model[i] {
+							return false
+						}
+					}
+					model = model[n:]
+				} else if err == nil {
+					return false
+				}
+			}
+			if fifo.Len() != int64(len(model)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	f, _ := New(region(5, 4), 4, false)
+	if s := f.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,315 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/sdf"
+)
+
+var testCache = cachesim.Config{Capacity: 1 << 14, Block: 16}
+
+func buildChain(t *testing.T, states ...int64) *sdf.Graph {
+	t.Helper()
+	b := sdf.NewBuilder("chain")
+	ids := make([]sdf.NodeID, len(states))
+	for i, s := range states {
+		ids[i] = b.AddNode("n"+string(rune('a'+i)), s)
+	}
+	b.Chain(ids...)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func unitCaps(g *sdf.Graph, c int64) []int64 {
+	caps := make([]int64, g.NumEdges())
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	g := buildChain(t, 0, 4, 0)
+	if _, err := NewMachine(g, Config{Cache: testCache, Caps: []int64{4}}); err == nil {
+		t.Error("wrong caps length accepted")
+	}
+	if _, err := NewMachine(g, Config{Cache: testCache, Caps: []int64{1, 1}}); err == nil {
+		t.Error("capacity below minBuf accepted")
+	}
+	if _, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 4), CollectOutputs: 5}); err == nil {
+		t.Error("CollectOutputs without Values accepted")
+	}
+	if _, err := NewMachine(g, Config{Cache: cachesim.Config{}, Caps: unitCaps(g, 4)}); err == nil {
+		t.Error("invalid cache config accepted")
+	}
+}
+
+func TestFireMovesTokens(t *testing.T) {
+	g := buildChain(t, 0, 8, 0)
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, mid, sink := sdf.NodeID(0), sdf.NodeID(1), sdf.NodeID(2)
+	if m.CanFire(mid) {
+		t.Error("mid should not be fireable before source")
+	}
+	if err := m.Fire(src); err != nil {
+		t.Fatal(err)
+	}
+	if m.InputItems() != 1 || m.SourceFirings() != 1 {
+		t.Errorf("input accounting: items=%d fires=%d", m.InputItems(), m.SourceFirings())
+	}
+	if err := m.Fire(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fire(sink); err != nil {
+		t.Fatal(err)
+	}
+	if m.SinkItems() != 1 {
+		t.Errorf("sink items = %d", m.SinkItems())
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFireBlockedReasons(t *testing.T) {
+	g := buildChain(t, 0, 8, 0)
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, mid := sdf.NodeID(0), sdf.NodeID(1)
+	if err := m.Blocked(mid); !errors.Is(err, ErrNotReady) {
+		t.Errorf("mid blocked = %v, want ErrNotReady", err)
+	}
+	// Fill src->mid buffer (cap 2).
+	if err := m.FireTimes(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Blocked(src); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("src blocked = %v, want ErrNoSpace", err)
+	}
+	if err := m.Fire(src); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("Fire on full output = %v, want ErrNoSpace", err)
+	}
+	if err := m.Blocked(mid); err != nil {
+		t.Errorf("mid should be fireable: %v", err)
+	}
+}
+
+func TestStateTouchCharges(t *testing.T) {
+	// One module with 64 words of state, block 16: firing it cold costs 4
+	// state misses (+ buffer traffic).
+	g := buildChain(t, 0, 64, 0)
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fire(sdf.NodeID(0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Cache().ResetStats()
+	if err := m.Fire(sdf.NodeID(1)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Cache().Stats()
+	// 4 state blocks miss; both tiny channel buffers pack into the block
+	// the source already touched, so buffer traffic hits.
+	if s.Misses != 4 {
+		t.Errorf("cold fire misses = %d, want 4 (stats %+v)", s.Misses, s)
+	}
+	// Second firing: state resident, buffers resident.
+	if err := m.Fire(sdf.NodeID(0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Cache().ResetStats()
+	if err := m.Fire(sdf.NodeID(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Cache().Stats(); s.Misses != 0 {
+		t.Errorf("warm fire misses = %d, want 0", s.Misses)
+	}
+}
+
+func TestStateBlocksNeverShared(t *testing.T) {
+	// Module state regions must not share cache blocks with anything else;
+	// large (>= B) buffers get exclusive blocks too. Sub-block buffers may
+	// pack together.
+	g := buildChain(t, 3, 5, 2)
+	caps := unitCaps(g, 3)
+	caps[1] = 32 // one large buffer (2 blocks)
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := testCache.Block
+	type owner struct {
+		id    int
+		small bool
+	}
+	used := map[int64]owner{}
+	claim := func(r cachesim.Region, id int, small bool) {
+		if r.Size == 0 {
+			return
+		}
+		for b := r.Base / blk; b <= (r.End()-1)/blk; b++ {
+			if prev, ok := used[b]; ok && !(prev.small && small) {
+				t.Fatalf("regions %d and %d share block %d", prev.id, id, b)
+			}
+			used[b] = owner{id, small}
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		claim(m.StateRegion(sdf.NodeID(v)), v, false)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		r := m.Buf(sdf.EdgeID(e)).Region()
+		claim(r, g.NumNodes()+e, r.Size < blk)
+	}
+}
+
+func TestValuesDeterministic(t *testing.T) {
+	run := func() []int64 {
+		g := buildChain(t, 0, 8, 8, 0)
+		m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 4), Values: true, CollectOutputs: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if err := m.Fire(sdf.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return m.Outputs()
+	}
+	a, b := run(), run()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("outputs len %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs diverge at %d", i)
+		}
+	}
+}
+
+func TestOutputOrderIndependentOfSchedule(t *testing.T) {
+	// Kahn determinism: run the same chain with two different firing
+	// interleavings and compare the sink streams.
+	build := func() *Machine {
+		g := buildChain(t, 0, 8, 8, 0)
+		m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 8), Values: true, CollectOutputs: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Schedule 1: round-robin single firings.
+	m1 := build()
+	for m1.SinkItems() < 24 {
+		for v := 0; v < 4; v++ {
+			if m1.CanFire(sdf.NodeID(v)) {
+				if err := m1.Fire(sdf.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Schedule 2: batched stage-by-stage.
+	m2 := build()
+	for m2.SinkItems() < 24 {
+		for v := 0; v < 4; v++ {
+			for m2.CanFire(sdf.NodeID(v)) {
+				if err := m2.Fire(sdf.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	a, b := m1.Outputs(), m2.Outputs()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		t.Fatal("no outputs collected")
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at output %d", i)
+		}
+	}
+}
+
+func TestInhomogeneousRates(t *testing.T) {
+	// src -2:1-> a -1:3-> sink : a fires 2x per src firing, sink consumes 3
+	// at a time. reps: src 3, a 6, sink 2.
+	b := sdf.NewBuilder("inh")
+	src := b.AddNode("src", 0)
+	a := b.AddNode("a", 4)
+	sink := b.AddNode("sink", 0)
+	b.Connect(src, a, 2, 1)
+	b.Connect(a, sink, 1, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: []int64{4, 6}, Values: true, CollectOutputs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fire(src); err != nil {
+		t.Fatal(err)
+	}
+	if m.InputItems() != 2 {
+		t.Errorf("input items = %d, want 2", m.InputItems())
+	}
+	if err := m.FireTimes(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanFire(sink) {
+		t.Error("sink should need 3 items, has 2")
+	}
+	if err := m.Fire(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fire(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fire(sink); err != nil {
+		t.Fatal(err)
+	}
+	if m.SinkItems() != 3 {
+		t.Errorf("sink items = %d, want 3", m.SinkItems())
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFireTimesErrorContext(t *testing.T) {
+	g := buildChain(t, 0, 4, 0)
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.FireTimes(sdf.NodeID(0), 5)
+	if err == nil {
+		t.Fatal("FireTimes should fail when buffer fills")
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+	if m.Fired(sdf.NodeID(0)) != 2 {
+		t.Errorf("fired = %d, want 2", m.Fired(sdf.NodeID(0)))
+	}
+}

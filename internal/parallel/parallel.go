@@ -1,0 +1,267 @@
+// Package parallel implements the paper's asynchronous/parallel extension
+// (§3, §7): partitioned schedules where any processor may claim any
+// schedulable component. The paper notes the homogeneous and pipeline
+// schedules "readily generalize" to this case; multiprocessor scheduling
+// proper is left as future work, so this package is the reproduction of
+// that extension point.
+//
+// Execution is simulated deterministically: P logical processors, each
+// with a private simulated cache, greedily claim schedulable components in
+// the I/O cost model (a processor's clock advances by the block transfers
+// it performs). Buffers and module state are shared and component
+// executions are atomic, which models the coarse-grained locking the
+// half-full/empty-full claiming rules are designed to permit. Processors
+// prefer re-claiming the component they ran last (cache affinity).
+package parallel
+
+import (
+	"errors"
+	"fmt"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/exec"
+	"streamsched/internal/partition"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sdf"
+)
+
+// ErrDeadlock is returned when no component is schedulable before the
+// target is reached.
+var ErrDeadlock = errors.New("parallel: no schedulable component")
+
+// Config describes a simulated multiprocessor run.
+type Config struct {
+	// Procs is the number of logical processors (>= 1).
+	Procs int
+	// Env carries M (component bound, batch size) and B.
+	Env schedule.Env
+	// Cache is the per-processor private cache configuration.
+	Cache cachesim.Config
+}
+
+// Result summarises a parallel run.
+type Result struct {
+	Procs       int
+	PerProc     []cachesim.Stats
+	Executions  []int64 // component executions per processor
+	TotalMisses int64
+	// MakespanBlocks is the maximum per-processor block-transfer count: the
+	// run's critical path in the I/O cost model.
+	MakespanBlocks int64
+	// BusyBlocks is the total block-transfer work across processors.
+	BusyBlocks  int64
+	SourceFired int64
+	InputItems  int64
+}
+
+// RunHomogeneous executes a homogeneous dag under partition p on cfg.Procs
+// simulated processors until the source has fired at least target times.
+// When p is nil, partition.Auto(g, M) is used.
+func RunHomogeneous(g *sdf.Graph, p *partition.Partition, cfg Config, target int64) (*Result, error) {
+	if !g.IsHomogeneous() {
+		return nil, fmt.Errorf("parallel: %s is not homogeneous", g.Name())
+	}
+	st, err := newState(g, p, cfg, schedule.PartitionedHomogeneous{})
+	if err != nil {
+		return nil, err
+	}
+	t := cfg.Env.M
+	return st.drive(target, func(c int) bool {
+		for _, e := range st.inCross[c] {
+			if st.m.Buf(e).Len() < t {
+				return false
+			}
+		}
+		for _, e := range st.outCross[c] {
+			if st.m.Buf(e).Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}, func(c int) error {
+		for round := int64(0); round < t; round++ {
+			for _, v := range st.members[c] {
+				if err := st.m.Fire(v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// RunPipeline executes a pipeline under partition p on cfg.Procs simulated
+// processors with the half-full claiming rule.
+func RunPipeline(g *sdf.Graph, p *partition.Partition, cfg Config, target int64) (*Result, error) {
+	if !g.IsPipeline() {
+		return nil, fmt.Errorf("parallel: %s is not a pipeline", g.Name())
+	}
+	st, err := newState(g, p, cfg, schedule.PartitionedPipeline{})
+	if err != nil {
+		return nil, err
+	}
+	src := g.Source()
+	return st.drive(target, func(c int) bool {
+		// Input more than half full (or external for the first segment) and
+		// output at most half full (or the sink).
+		if len(st.inCross[c]) == 1 {
+			buf := st.m.Buf(st.inCross[c][0])
+			if 2*buf.Len() <= buf.Cap() {
+				return false
+			}
+		}
+		if len(st.outCross[c]) == 1 {
+			buf := st.m.Buf(st.outCross[c][0])
+			if 2*buf.Len() > buf.Cap() {
+				return false
+			}
+		}
+		return true
+	}, func(c int) error {
+		for {
+			progress := false
+			for _, v := range st.members[c] {
+				for st.m.CanFire(v) {
+					if v == src && st.m.SourceFirings() >= st.target {
+						break
+					}
+					if err := st.m.Fire(v); err != nil {
+						return err
+					}
+					progress = true
+				}
+			}
+			if !progress {
+				return nil
+			}
+		}
+	})
+}
+
+// state is the shared simulation state.
+type state struct {
+	g        *sdf.Graph
+	p        *partition.Partition
+	cfg      Config
+	m        *exec.Machine
+	members  [][]sdf.NodeID
+	inCross  [][]sdf.EdgeID
+	outCross [][]sdf.EdgeID
+	caches   []*cachesim.Cache
+	target   int64
+}
+
+func newState(g *sdf.Graph, p *partition.Partition, cfg Config, planner schedule.Scheduler) (*state, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("parallel: need >= 1 processor, got %d", cfg.Procs)
+	}
+	var err error
+	if p == nil {
+		p, err = partition.Auto(g, cfg.Env.M)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Reuse the uniprocessor scheduler's buffer sizing.
+	var plan *schedule.Plan
+	switch pl := planner.(type) {
+	case schedule.PartitionedHomogeneous:
+		pl.P = p
+		plan, err = pl.Prepare(g, cfg.Env)
+	case schedule.PartitionedPipeline:
+		pl.P = p
+		plan, err = pl.Prepare(g, cfg.Env)
+	default:
+		err = fmt.Errorf("parallel: unsupported planner %T", planner)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := &state{g: g, p: p, cfg: cfg}
+	st.m, err = exec.NewMachine(g, exec.Config{Cache: cfg.Cache, Caps: plan.Caps})
+	if err != nil {
+		return nil, err
+	}
+	st.members = p.Members(g)
+	st.inCross = make([][]sdf.EdgeID, p.K)
+	st.outCross = make([][]sdf.EdgeID, p.K)
+	for _, e := range p.CrossEdges(g) {
+		from := p.Assign[g.Edge(e).From]
+		to := p.Assign[g.Edge(e).To]
+		st.outCross[from] = append(st.outCross[from], e)
+		st.inCross[to] = append(st.inCross[to], e)
+	}
+	st.caches = make([]*cachesim.Cache, cfg.Procs)
+	for i := range st.caches {
+		st.caches[i], err = cachesim.New(cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// drive runs the greedy list-scheduling loop: the least-loaded processor
+// claims a schedulable component (preferring its previous one for cache
+// affinity) and executes it atomically on its private cache.
+func (st *state) drive(target int64, schedulable func(int) bool, execute func(int) error) (*Result, error) {
+	st.target = target
+	clock := make([]int64, st.cfg.Procs)
+	lastComp := make([]int, st.cfg.Procs)
+	execs := make([]int64, st.cfg.Procs)
+	for i := range lastComp {
+		lastComp[i] = -1
+	}
+	items0 := st.m.InputItems()
+	for st.m.SourceFirings() < target {
+		// Least-loaded processor claims next.
+		proc := 0
+		for i := 1; i < len(clock); i++ {
+			if clock[i] < clock[proc] {
+				proc = i
+			}
+		}
+		comp := -1
+		if lastComp[proc] >= 0 && schedulable(lastComp[proc]) {
+			comp = lastComp[proc]
+		} else {
+			for c := 0; c < st.p.K; c++ {
+				if schedulable(c) {
+					comp = c
+					break
+				}
+			}
+		}
+		if comp < 0 {
+			return nil, fmt.Errorf("%w: at %d source firings", ErrDeadlock, st.m.SourceFirings())
+		}
+		cache := st.caches[proc]
+		st.m.SetCache(cache)
+		before := cache.Stats().Misses
+		if err := execute(comp); err != nil {
+			return nil, err
+		}
+		clock[proc] += cache.Stats().Misses - before
+		lastComp[proc] = comp
+		execs[proc]++
+	}
+	res := &Result{
+		Procs:       st.cfg.Procs,
+		PerProc:     make([]cachesim.Stats, st.cfg.Procs),
+		Executions:  execs,
+		SourceFired: st.m.SourceFirings(),
+		InputItems:  st.m.InputItems() - items0,
+	}
+	for i, c := range st.caches {
+		res.PerProc[i] = c.Stats()
+		res.TotalMisses += c.Stats().Misses
+		res.BusyBlocks += c.Stats().Misses
+		if c.Stats().Misses > res.MakespanBlocks {
+			res.MakespanBlocks = c.Stats().Misses
+		}
+	}
+	if err := st.m.CheckConservation(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"fmt"
+
+	"streamsched/internal/sdf"
+)
+
+// Exact computes a minimum-bandwidth well-ordered partition with every
+// component's state at most bound, by dynamic programming over the lattice
+// of order ideals. It plays the role of the exact integer-programming
+// partitioner the paper suggests for small dags (§7) and supplies the
+// ground-truth minBW_c(G) used by the dag lower bound (Theorems 7/10) and
+// by the heuristic-quality experiment (E9).
+//
+// Correctness rests on a structural fact: well-ordered partitions of a dag
+// are exactly the chains of order ideals. If P = {V_1 < ... < V_k} is well
+// ordered (components in topological order of the contracted dag), then
+// each prefix union S_i = V_1 ∪ ... ∪ V_i is an ideal (closed under
+// predecessors): an edge (u, v) with v ∈ S_i must have u in a component no
+// later than v's, hence u ∈ S_i. Conversely, for any chain of ideals
+// ∅ = S_0 ⊂ S_1 ⊂ ... ⊂ S_k = V, the differences V_i = S_i \ S_{i-1} form a
+// well-ordered partition: every edge goes from a smaller-or-equal indexed
+// difference to a larger-or-equal one, so the contracted graph is acyclic.
+//
+// The DP assigns each cross edge's cost at the moment its head's component
+// is chosen: cost(S -> S') = Σ gain(u, v) over edges with u ∈ S and
+// v ∈ S' \ S. Every cross edge is counted exactly once because edges into
+// S' \ S from outside S' are impossible (S' is an ideal).
+//
+// The search is exponential in the worst case; graphs with more than
+// MaxExactNodes nodes are rejected.
+func Exact(g *sdf.Graph, bound int64) (*Partition, error) {
+	n := g.NumNodes()
+	if n > MaxExactNodes {
+		return nil, fmt.Errorf("%w: %d nodes, limit %d", ErrTooLarge, n, MaxExactNodes)
+	}
+	for v := 0; v < n; v++ {
+		if g.Node(sdf.NodeID(v)).State > bound {
+			return nil, fmt.Errorf("%w: module %s has %d words, bound %d",
+				ErrInfeasible, g.Node(sdf.NodeID(v)).Name, g.Node(sdf.NodeID(v)).State, bound)
+		}
+	}
+	solver := &exactSolver{
+		g:     g,
+		bound: bound,
+		memo:  map[uint32]exactEntry{},
+		full:  uint32(1)<<uint(n) - 1,
+	}
+	// Order nodes by topological position so component enumeration can add
+	// nodes in increasing position without missing any valid component.
+	solver.topoPos = make([]int, n)
+	for i, v := range g.Topo() {
+		solver.topoPos[v] = i
+	}
+	solver.byPos = make([]sdf.NodeID, n)
+	copy(solver.byPos, g.Topo())
+
+	cost := solver.solve(0)
+	if cost < 0 {
+		return nil, fmt.Errorf("%w: bound %d", ErrInfeasible, bound)
+	}
+	// Reconstruct the chain of ideals.
+	assign := make([]int, n)
+	mask := uint32(0)
+	comp := 0
+	for mask != solver.full {
+		next := solver.memo[mask].next
+		diff := next &^ mask
+		for v := 0; v < n; v++ {
+			if diff&(1<<uint(v)) != 0 {
+				assign[v] = comp
+			}
+		}
+		comp++
+		mask = next
+	}
+	return New(g, assign)
+}
+
+// MaxExactNodes bounds the size of graphs accepted by Exact.
+const MaxExactNodes = 22
+
+type exactEntry struct {
+	cost int64
+	next uint32 // the ideal chosen after this one on an optimal chain
+}
+
+type exactSolver struct {
+	g       *sdf.Graph
+	bound   int64
+	full    uint32
+	topoPos []int
+	byPos   []sdf.NodeID
+	memo    map[uint32]exactEntry
+}
+
+// solve returns the minimum scaled bandwidth to partition the nodes outside
+// ideal `mask`, or -1 if infeasible.
+func (s *exactSolver) solve(mask uint32) int64 {
+	if mask == s.full {
+		return 0
+	}
+	if e, ok := s.memo[mask]; ok {
+		return e.cost
+	}
+	best := int64(-1)
+	var bestNext uint32
+	s.enumerate(mask, mask, 0, 0, 0, func(next uint32, edgeCost int64) {
+		sub := s.solve(next)
+		if sub < 0 {
+			return
+		}
+		total := edgeCost + sub
+		if best < 0 || total < best {
+			best = total
+			bestNext = next
+		}
+	})
+	s.memo[mask] = exactEntry{cost: best, next: bestNext}
+	return best
+}
+
+// enumerate visits every valid next component C (so every ideal
+// cur = mask ∪ C) by adding nodes in increasing topological position,
+// starting at startPos; this yields each component set exactly once. cost
+// accumulates the scaled gains of edges from `mask` into C. yield is called
+// for each non-empty C.
+func (s *exactSolver) enumerate(mask, cur uint32, startPos int, state, cost int64, yield func(uint32, int64)) {
+	if cur != mask {
+		yield(cur, cost)
+	}
+	for pos := startPos; pos < len(s.byPos); pos++ {
+		v := s.byPos[pos]
+		bit := uint32(1) << uint(v)
+		if cur&bit != 0 {
+			continue
+		}
+		// All predecessors of v must already be in cur.
+		ok := true
+		var addCost int64
+		for _, e := range s.g.InEdges(v) {
+			from := s.g.Edge(e).From
+			fbit := uint32(1) << uint(from)
+			if cur&fbit == 0 {
+				ok = false
+				break
+			}
+			if mask&fbit != 0 {
+				addCost += EdgeGainScaled(s.g, e)
+			}
+		}
+		if !ok {
+			continue
+		}
+		st := state + s.g.Node(v).State
+		if st > s.bound {
+			continue
+		}
+		s.enumerate(mask, cur|bit, pos+1, st, cost+addCost, yield)
+	}
+}

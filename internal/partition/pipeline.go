@@ -1,0 +1,223 @@
+package partition
+
+import (
+	"fmt"
+
+	"streamsched/internal/sdf"
+)
+
+// Segment2M describes one segment W_i of the Theorem 5 construction: a run
+// of consecutive pipeline modules with total state at least 2M (except
+// possibly the last), together with its gain-minimizing internal edge.
+type Segment2M struct {
+	// First and Last are positions (inclusive) in the pipeline's chain
+	// order.
+	First, Last int
+	// State is the total module state of the segment.
+	State int64
+	// GainMin is the gain-minimizing edge strictly inside the segment, or
+	// -1 when the segment has fewer than two modules.
+	GainMin sdf.EdgeID
+}
+
+// ChainOrder returns the pipeline's modules in chain order and, for each
+// consecutive pair, the connecting edge. It fails unless g is a pipeline.
+func ChainOrder(g *sdf.Graph) ([]sdf.NodeID, []sdf.EdgeID, error) {
+	if !g.IsPipeline() {
+		return nil, nil, ErrNotPipeline
+	}
+	order := g.Topo()
+	edges := make([]sdf.EdgeID, 0, len(order)-1)
+	for i := 0; i+1 < len(order); i++ {
+		outs := g.OutEdges(order[i])
+		if len(outs) != 1 || g.Edge(outs[0]).To != order[i+1] {
+			return nil, nil, fmt.Errorf("%w: break after %s", ErrNotPipeline, g.Node(order[i]).Name)
+		}
+		edges = append(edges, outs[0])
+	}
+	return order, edges, nil
+}
+
+// Theorem5Segments performs the greedy segment construction from the proof
+// of Theorem 5: scan the pipeline in order, close a segment as soon as its
+// state exceeds 2M, and fold a small tail (under 2M) into the last segment.
+// Every returned segment except possibly a lone first one has state > 2M.
+func Theorem5Segments(g *sdf.Graph, m int64) ([]Segment2M, error) {
+	order, chainEdges, err := ChainOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	var segs []Segment2M
+	start := 0
+	var state int64
+	remaining := g.TotalState()
+	for i, v := range order {
+		s := g.Node(v).State
+		state += s
+		remaining -= s
+		if state > 2*m && remaining >= 2*m {
+			segs = append(segs, Segment2M{First: start, Last: i, State: state})
+			start = i + 1
+			state = 0
+		}
+	}
+	if start < len(order) {
+		segs = append(segs, Segment2M{First: start, Last: len(order) - 1, State: state})
+	}
+	for i := range segs {
+		segs[i].GainMin = gainMinEdge(g, chainEdges, segs[i].First, segs[i].Last)
+	}
+	return segs, nil
+}
+
+// gainMinEdge returns the minimum-gain chain edge strictly inside positions
+// [first, last], or -1 when none exists.
+func gainMinEdge(g *sdf.Graph, chainEdges []sdf.EdgeID, first, last int) sdf.EdgeID {
+	best := sdf.EdgeID(-1)
+	var bestGain int64
+	for pos := first; pos < last; pos++ {
+		e := chainEdges[pos]
+		gn := EdgeGainScaled(g, e)
+		if best == -1 || gn < bestGain {
+			best, bestGain = e, gn
+		}
+	}
+	return best
+}
+
+// PipelineTheorem5 builds the partition of Theorem 5: cut the pipeline at
+// the gain-minimizing edge of every greedy 2M-segment. The resulting
+// components have state at most 8M and the induced schedule is
+// O(1)-competitive with O(1) cache augmentation.
+func PipelineTheorem5(g *sdf.Graph, m int64) (*Partition, error) {
+	order, chainEdges, err := ChainOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: cache size must be positive, got %d", m)
+	}
+	if g.TotalState() <= 2*m {
+		return Whole(g), nil
+	}
+	segs, err := Theorem5Segments(g, m)
+	if err != nil {
+		return nil, err
+	}
+	cut := make(map[sdf.EdgeID]bool)
+	for _, s := range segs {
+		if s.GainMin >= 0 {
+			cut[s.GainMin] = true
+		}
+	}
+	assign := make([]int, g.NumNodes())
+	comp := 0
+	for i, v := range order {
+		assign[v] = comp
+		if i < len(chainEdges) && cut[chainEdges[i]] {
+			comp++
+		}
+	}
+	return New(g, assign)
+}
+
+// PipelineOptimalDP returns the minimum-bandwidth partition of a pipeline
+// into segments of state at most bound words — the polynomial dynamic
+// program noted after Theorem 5. The result minimizes bandwidth exactly
+// among all well-ordered bound-bounded partitions of the pipeline (for
+// pipelines, every well-ordered partition is a segmentation).
+func PipelineOptimalDP(g *sdf.Graph, bound int64) (*Partition, error) {
+	order, _, err := ChainOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	return IntervalDP(g, bound, order)
+}
+
+// IntervalDP returns the minimum-bandwidth partition of g whose components
+// are intervals of the given linear extension, subject to every component's
+// state being at most bound. Interval partitions of a linear extension are
+// always well ordered; conversely every well-ordered partition is an
+// interval partition of some linear extension (see exact.go), so searching
+// over orders searches the whole space.
+func IntervalDP(g *sdf.Graph, bound int64, order []sdf.NodeID) (*Partition, error) {
+	n := len(order)
+	if n == 0 || n != g.NumNodes() || !g.IsLinearExtension(order) {
+		return nil, fmt.Errorf("partition: IntervalDP needs a linear extension of the graph")
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	const inf = int64(1) << 62
+	// dp[i] = min scaled bandwidth of a valid interval partition of
+	// order[0:i]; cut[i] = the j achieving it (component is order[j:i]).
+	dp := make([]int64, n+1)
+	cutAt := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = inf
+	}
+	for i := 1; i <= n; i++ {
+		var state int64
+		var cross int64 // scaled gain of edges from order[0:j] into order[j:i]
+		// Grow the final component backwards: j = i-1 down to 0.
+		for j := i - 1; j >= 0; j-- {
+			v := order[j]
+			state += g.Node(v).State
+			if state > bound {
+				break
+			}
+			// Adding v to the component: edges into v from positions < j
+			// become cross; edges out of v to positions in [j+1, i) become
+			// internal.
+			for _, e := range g.InEdges(v) {
+				if pos[g.Edge(e).From] < j {
+					cross += EdgeGainScaled(g, e)
+				}
+			}
+			for _, e := range g.OutEdges(v) {
+				if tp := pos[g.Edge(e).To]; tp > j && tp < i {
+					cross -= EdgeGainScaled(g, e)
+				}
+			}
+			if dp[j] < inf && dp[j]+cross < dp[i] {
+				dp[i] = dp[j] + cross
+				cutAt[i] = j
+			}
+		}
+	}
+	if dp[n] >= inf {
+		return nil, fmt.Errorf("%w: some module exceeds %d words", ErrInfeasible, bound)
+	}
+	// Reconstruct components right to left.
+	assign := make([]int, n)
+	comps := 0
+	for i := n; i > 0; i = cutAt[i] {
+		comps++
+		for p := cutAt[i]; p < i; p++ {
+			assign[order[p]] = -comps // temporary reversed numbering
+		}
+	}
+	for v := range assign {
+		assign[v] += comps // 0-based, already in topological order
+	}
+	return New(g, assign)
+}
+
+// BestInterval runs IntervalDP over every linear-extension strategy and
+// returns the lowest-bandwidth result.
+func BestInterval(g *sdf.Graph, bound int64) (*Partition, error) {
+	var best *Partition
+	var bestBW int64
+	for _, kind := range sdf.OrderKinds() {
+		p, err := IntervalDP(g, bound, g.LinearExtension(kind))
+		if err != nil {
+			return nil, err
+		}
+		bw := p.BandwidthScaled(g)
+		if best == nil || bw < bestBW {
+			best, bestBW = p, bw
+		}
+	}
+	return best, nil
+}

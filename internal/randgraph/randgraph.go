@@ -1,0 +1,185 @@
+// Package randgraph generates random, always-valid SDF graphs for property
+// tests and heuristic-quality experiments: uniform and rate-varied
+// pipelines, homogeneous layered dags, and rate-matched split-join dags.
+// All generators are deterministic in their seed.
+package randgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamsched/internal/sdf"
+)
+
+// PipelineSpec parameterises RandomPipeline.
+type PipelineSpec struct {
+	Nodes    int   // total modules including source and sink (>= 2)
+	StateMin int64 // minimum interior-module state
+	StateMax int64 // maximum interior-module state
+	RateMax  int64 // maximum channel rate; 1 yields a homogeneous pipeline
+}
+
+// RandomPipeline builds a random pipeline. Channel rates are sampled from
+// [1, RateMax] with the cumulative gain clamped to [1/4, 4] so repetition
+// vectors stay small.
+func RandomPipeline(rng *rand.Rand, spec PipelineSpec) (*sdf.Graph, error) {
+	if spec.Nodes < 2 {
+		return nil, fmt.Errorf("randgraph: pipeline needs >= 2 nodes, got %d", spec.Nodes)
+	}
+	if spec.StateMin < 0 || spec.StateMax < spec.StateMin {
+		return nil, fmt.Errorf("randgraph: bad state range [%d, %d]", spec.StateMin, spec.StateMax)
+	}
+	if spec.RateMax < 1 {
+		return nil, fmt.Errorf("randgraph: RateMax must be >= 1, got %d", spec.RateMax)
+	}
+	b := sdf.NewBuilder("rand-pipeline")
+	ids := make([]sdf.NodeID, spec.Nodes)
+	for i := range ids {
+		var state int64
+		if i != 0 && i != spec.Nodes-1 {
+			state = spec.StateMin + rng.Int63n(spec.StateMax-spec.StateMin+1)
+		}
+		ids[i] = b.AddNode(fmt.Sprintf("m%d", i), state)
+	}
+	// The cumulative gain walks over powers of two in [1/4, 4], so
+	// repetition-vector denominators stay tiny no matter the length. A
+	// common multiplier k on both rates varies rate magnitudes without
+	// changing the gain.
+	exp := 0
+	for i := 0; i+1 < len(ids); i++ {
+		out, in := int64(1), int64(1)
+		if spec.RateMax > 1 {
+			delta := rng.Intn(3) - 1
+			if exp+delta > 2 || exp+delta < -2 {
+				delta = 0
+			}
+			switch delta {
+			case 1:
+				out = 2
+			case -1:
+				in = 2
+			}
+			exp += delta
+			if kmax := spec.RateMax / 2; kmax > 1 {
+				k := 1 + rng.Int63n(kmax)
+				out *= k
+				in *= k
+			}
+		}
+		b.Connect(ids[i], ids[i+1], out, in)
+	}
+	return b.Build()
+}
+
+// LayeredSpec parameterises RandomLayeredDag.
+type LayeredSpec struct {
+	Layers   int // interior layers (>= 1)
+	Width    int // modules per layer (>= 1)
+	StateMin int64
+	StateMax int64
+	// ExtraEdges adds up to this many random extra edges between adjacent
+	// layers beyond the connectivity baseline.
+	ExtraEdges int
+}
+
+// RandomLayeredDag builds a homogeneous layered dag: source, Layers layers
+// of Width modules, sink. Every interior module has at least one input
+// from the previous layer and every module at least one output to the next
+// layer, so the graph has a unique source and sink and is connected; unit
+// rates keep it rate matched by construction.
+func RandomLayeredDag(rng *rand.Rand, spec LayeredSpec) (*sdf.Graph, error) {
+	if spec.Layers < 1 || spec.Width < 1 {
+		return nil, fmt.Errorf("randgraph: layers and width must be >= 1")
+	}
+	if spec.StateMin < 0 || spec.StateMax < spec.StateMin {
+		return nil, fmt.Errorf("randgraph: bad state range [%d, %d]", spec.StateMin, spec.StateMax)
+	}
+	b := sdf.NewBuilder("rand-layered")
+	src := b.AddNode("src", 0)
+	prev := []sdf.NodeID{src}
+	for l := 0; l < spec.Layers; l++ {
+		layer := make([]sdf.NodeID, spec.Width)
+		hasOut := make([]bool, len(prev))
+		for w := range layer {
+			state := spec.StateMin + rng.Int63n(spec.StateMax-spec.StateMin+1)
+			layer[w] = b.AddNode(fmt.Sprintf("l%dw%d", l, w), state)
+			pi := rng.Intn(len(prev))
+			b.Connect(prev[pi], layer[w], 1, 1)
+			hasOut[pi] = true
+		}
+		for pi, ok := range hasOut {
+			if !ok {
+				b.Connect(prev[pi], layer[rng.Intn(len(layer))], 1, 1)
+			}
+		}
+		for i := 0; i < spec.ExtraEdges; i++ {
+			b.Connect(prev[rng.Intn(len(prev))], layer[rng.Intn(len(layer))], 1, 1)
+		}
+		prev = layer
+	}
+	sink := b.AddNode("sink", 0)
+	for _, p := range prev {
+		b.Connect(p, sink, 1, 1)
+	}
+	return b.Build()
+}
+
+// SplitJoinSpec parameterises RandomSplitJoin.
+type SplitJoinSpec struct {
+	Branches    int // parallel branches (>= 1)
+	BranchDepth int // modules per branch (>= 1)
+	StateMin    int64
+	StateMax    int64
+	// RateMax, when > 1 (and BranchDepth >= 3), inserts a matched
+	// upsample/downsample pair inside each branch — overall branch gain
+	// stays 1, so the dag is inhomogeneous yet rate matched.
+	RateMax int64
+}
+
+// RandomSplitJoin builds src -> split -> branches -> join -> sink where
+// each branch is a chain of BranchDepth modules.
+func RandomSplitJoin(rng *rand.Rand, spec SplitJoinSpec) (*sdf.Graph, error) {
+	if spec.Branches < 1 || spec.BranchDepth < 1 {
+		return nil, fmt.Errorf("randgraph: branches and depth must be >= 1")
+	}
+	if spec.StateMin < 0 || spec.StateMax < spec.StateMin {
+		return nil, fmt.Errorf("randgraph: bad state range [%d, %d]", spec.StateMin, spec.StateMax)
+	}
+	if spec.RateMax < 1 {
+		spec.RateMax = 1
+	}
+	b := sdf.NewBuilder("rand-splitjoin")
+	state := func() int64 { return spec.StateMin + rng.Int63n(spec.StateMax-spec.StateMin+1) }
+	src := b.AddNode("src", 0)
+	split := b.AddNode("split", state())
+	join := b.AddNode("join", state())
+	sink := b.AddNode("sink", 0)
+	b.Connect(src, split, 1, 1)
+	b.Connect(join, sink, 1, 1)
+	for br := 0; br < spec.Branches; br++ {
+		nodes := make([]sdf.NodeID, spec.BranchDepth)
+		for d := range nodes {
+			nodes[d] = b.AddNode(fmt.Sprintf("b%dd%d", br, d), state())
+		}
+		// Intra-branch edge rates: all unit except a matched up/down pair.
+		nEdges := spec.BranchDepth - 1
+		outR := make([]int64, nEdges)
+		inR := make([]int64, nEdges)
+		for i := range outR {
+			outR[i], inR[i] = 1, 1
+		}
+		if spec.RateMax > 1 && nEdges >= 2 {
+			factor := 2 + rng.Int63n(spec.RateMax-1)
+			up := rng.Intn(nEdges - 1)
+			down := up + 1 + rng.Intn(nEdges-1-up)
+			outR[up] = factor // upsample: modules between fire factor times more
+			inR[down] = factor
+		}
+		b.Connect(split, nodes[0], 1, 1)
+		for i := 0; i < nEdges; i++ {
+			b.Connect(nodes[i], nodes[i+1], outR[i], inR[i])
+		}
+		b.Connect(nodes[spec.BranchDepth-1], join, 1, 1)
+	}
+	return b.Build()
+}

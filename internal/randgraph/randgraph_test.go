@@ -1,0 +1,148 @@
+package randgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamsched/internal/sdf"
+)
+
+func TestRandomPipelineValid(t *testing.T) {
+	f := func(seed int64, nRaw, rateRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 2
+		rate := int64(rateRaw%6) + 1
+		g, err := RandomPipeline(rng, PipelineSpec{
+			Nodes: n, StateMin: 0, StateMax: 64, RateMax: rate,
+		})
+		if err != nil {
+			return false
+		}
+		if !g.IsPipeline() || g.NumNodes() != n {
+			return false
+		}
+		if rate == 1 && !g.IsHomogeneous() {
+			return false
+		}
+		// Repetition vectors stay small by construction.
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Repetitions(sdf.NodeID(v)) > 1<<20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPipelineErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomPipeline(rng, PipelineSpec{Nodes: 1, RateMax: 1}); err == nil {
+		t.Error("Nodes=1 accepted")
+	}
+	if _, err := RandomPipeline(rng, PipelineSpec{Nodes: 4, RateMax: 0}); err == nil {
+		t.Error("RateMax=0 accepted")
+	}
+	if _, err := RandomPipeline(rng, PipelineSpec{Nodes: 4, RateMax: 1, StateMin: 5, StateMax: 1}); err == nil {
+		t.Error("bad state range accepted")
+	}
+}
+
+func TestRandomLayeredDagValid(t *testing.T) {
+	f := func(seed int64, layersRaw, widthRaw, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		layers := int(layersRaw%5) + 1
+		width := int(widthRaw%5) + 1
+		extra := int(extraRaw % 4)
+		g, err := RandomLayeredDag(rng, LayeredSpec{
+			Layers: layers, Width: width, StateMin: 1, StateMax: 32, ExtraEdges: extra,
+		})
+		if err != nil {
+			return false
+		}
+		if !g.IsHomogeneous() {
+			return false
+		}
+		return g.NumNodes() == layers*width+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomLayeredDag(rng, LayeredSpec{Layers: 0, Width: 1}); err == nil {
+		t.Error("Layers=0 accepted")
+	}
+	if _, err := RandomLayeredDag(rng, LayeredSpec{Layers: 1, Width: 1, StateMin: 9, StateMax: 3}); err == nil {
+		t.Error("bad state range accepted")
+	}
+}
+
+func TestRandomSplitJoinValid(t *testing.T) {
+	f := func(seed int64, brRaw, depthRaw, rateRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		branches := int(brRaw%4) + 1
+		depth := int(depthRaw%4) + 1
+		rate := int64(rateRaw % 4) // 0..3; <1 coerced to 1
+		g, err := RandomSplitJoin(rng, SplitJoinSpec{
+			Branches: branches, BranchDepth: depth,
+			StateMin: 0, StateMax: 16, RateMax: rate,
+		})
+		if err != nil {
+			return false
+		}
+		want := 4 + branches*depth
+		return g.NumNodes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomSplitJoin(rng, SplitJoinSpec{Branches: 0, BranchDepth: 1}); err == nil {
+		t.Error("Branches=0 accepted")
+	}
+	if _, err := RandomSplitJoin(rng, SplitJoinSpec{Branches: 1, BranchDepth: 1, StateMin: 7, StateMax: 2}); err == nil {
+		t.Error("bad state range accepted")
+	}
+}
+
+func TestSplitJoinInhomogeneousWhenRequested(t *testing.T) {
+	// With RateMax > 1 and depth >= 3, some seed must yield non-unit rates.
+	foundInhomogeneous := false
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomSplitJoin(rng, SplitJoinSpec{
+			Branches: 2, BranchDepth: 4, StateMin: 1, StateMax: 8, RateMax: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsHomogeneous() {
+			foundInhomogeneous = true
+			break
+		}
+	}
+	if !foundInhomogeneous {
+		t.Error("RateMax=3 never produced an inhomogeneous split-join")
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	build := func() string {
+		rng := rand.New(rand.NewSource(7))
+		g, err := RandomLayeredDag(rng, LayeredSpec{Layers: 3, Width: 3, StateMin: 1, StateMax: 9, ExtraEdges: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if build() != build() {
+		t.Error("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("longer-name", "2.5")
+	tb.Add("short") // padded
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## demo", "name", "longer-name", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every row line has "value" column at same offset.
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("missing rule line: %q", lines[2])
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "##") {
+		t.Error("empty title rendered")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("1", "x,y")
+	tb.Add("2", `q"uote`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"q\"uote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %s", F(1.23456))
+	}
+	if F1(1.26) != "1.3" {
+		t.Errorf("F1 = %s", F1(1.26))
+	}
+	if I(-42) != "-42" {
+		t.Errorf("I = %s", I(-42))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Errorf("Ratio div0 = %s", Ratio(1, 0))
+	}
+	if Ratio(3, 2) != "1.50" {
+		t.Errorf("Ratio = %s", Ratio(3, 2))
+	}
+}

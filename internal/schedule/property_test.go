@@ -1,0 +1,238 @@
+package schedule
+
+// Property tests over random graphs: the strongest correctness evidence in
+// the repository. SDF (Kahn) semantics guarantee every valid schedule of
+// the same graph computes the same streams; these tests generate random
+// rate-matched graphs and check that every scheduler agrees on outputs,
+// conserves tokens, respects buffer bounds, and never beats the paper's
+// lower bound.
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/exec"
+	"streamsched/internal/lowerbound"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/sdf"
+)
+
+// runCollect prepares s, drives a value-collecting machine to target
+// source firings, and returns the collected outputs.
+func runCollect(t *testing.T, g *sdf.Graph, s Scheduler, env Env, target, collect int64) ([]int64, error) {
+	t.Helper()
+	plan, err := s.Prepare(g, env)
+	if err != nil {
+		return nil, err
+	}
+	m, err := exec.NewMachine(g, exec.Config{
+		Cache:  cachesim.Config{Capacity: 4 * env.M, Block: env.B},
+		Caps:   plan.Caps,
+		Values: true, CollectOutputs: collect,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Runner.Run(m, target); err != nil {
+		return nil, err
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatalf("%s conservation: %v", s.Name(), err)
+	}
+	return m.Outputs(), nil
+}
+
+func TestPropRandomPipelinesAllSchedulersAgree(t *testing.T) {
+	env := Env{M: 128, B: 16}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+			Nodes: 4 + rng.Intn(10), StateMin: 0, StateMax: 100, RateMax: 4,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scheds := []Scheduler{
+			FlatTopo{}, Scaled{S: 3}, DemandDriven{}, KohliGreedy{},
+			PartitionedPipeline{}, PartitionedBatch{},
+		}
+		var ref []int64
+		var refName string
+		for _, s := range scheds {
+			// The half-full rule needs ~segments·2M/min-gain source
+			// firings before the first sink output; 6000 covers the
+			// worst random configuration here.
+			outs, err := runCollect(t, g, s, env, 6000, 64)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+			}
+			if ref == nil {
+				ref, refName = outs, s.Name()
+				continue
+			}
+			n := len(ref)
+			if len(outs) < n {
+				n = len(outs)
+			}
+			if n < 16 {
+				t.Fatalf("seed %d: only %d comparable outputs from %s", seed, n, s.Name())
+			}
+			for i := 0; i < n; i++ {
+				if outs[i] != ref[i] {
+					t.Fatalf("seed %d: %s and %s diverge at output %d",
+						seed, refName, s.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestPropRandomDagsBatchMatchesBaselines(t *testing.T) {
+	env := Env{M: 128, B: 16}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var g *sdf.Graph
+		var err error
+		if seed%2 == 0 {
+			g, err = randgraph.RandomLayeredDag(rng, randgraph.LayeredSpec{
+				Layers: 1 + rng.Intn(3), Width: 1 + rng.Intn(3),
+				StateMin: 1, StateMax: 80, ExtraEdges: rng.Intn(3),
+			})
+		} else {
+			g, err = randgraph.RandomSplitJoin(rng, randgraph.SplitJoinSpec{
+				Branches: 1 + rng.Intn(3), BranchDepth: 1 + rng.Intn(3),
+				StateMin: 1, StateMax: 80, RateMax: 3,
+			})
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scheds := []Scheduler{FlatTopo{}, DemandDriven{}, PartitionedBatch{}}
+		if g.IsHomogeneous() {
+			scheds = append(scheds, PartitionedHomogeneous{})
+		}
+		var ref []int64
+		for _, s := range scheds {
+			outs, err := runCollect(t, g, s, env, 800, 48)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+			}
+			if ref == nil {
+				ref = outs
+				continue
+			}
+			n := len(ref)
+			if len(outs) < n {
+				n = len(outs)
+			}
+			if n < 12 {
+				t.Fatalf("seed %d: only %d comparable outputs", seed, n)
+			}
+			for i := 0; i < n; i++ {
+				if outs[i] != ref[i] {
+					t.Fatalf("seed %d: %s diverges at output %d", seed, s.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestPropFiringCountsMatchRepetitionVector(t *testing.T) {
+	// After any whole number of flat periods, fired(v)/fired(src) =
+	// reps(v)/reps(src) exactly.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+			Nodes: 3 + rng.Intn(8), StateMin: 0, StateMax: 32, RateMax: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (FlatTopo{}).Prepare(g, Env{M: 64, B: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := exec.NewMachine(g, exec.Config{
+			Cache: cachesim.Config{Capacity: 256, Block: 16}, Caps: plan.Caps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Runner.Run(m, 1); err != nil {
+			t.Fatal(err)
+		}
+		srcReps := g.Repetitions(g.Source())
+		srcFired := m.SourceFirings()
+		if srcFired%srcReps != 0 {
+			t.Fatalf("seed %d: source fired %d, not a multiple of %d", seed, srcFired, srcReps)
+		}
+		periods := srcFired / srcReps
+		for v := 0; v < g.NumNodes(); v++ {
+			want := periods * g.Repetitions(sdf.NodeID(v))
+			if got := m.Fired(sdf.NodeID(v)); got != want {
+				t.Fatalf("seed %d node %d: fired %d, want %d", seed, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPropLowerBoundNeverBeaten(t *testing.T) {
+	// Theorem 3 as an executable property: on random oversized pipelines,
+	// no scheduler's measured misses/source-firing drop below a quarter of
+	// the bound (the theorem's constant is below 1; 0.25 is conservative).
+	env := Env{M: 128, B: 16}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+			Nodes: 12 + rng.Intn(10), StateMin: 64, StateMax: 128, RateMax: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := lowerbound.Pipeline(g, env.M, env.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound.PerSourceFiring == 0 {
+			continue // graph fits; bound vacuous
+		}
+		for _, s := range []Scheduler{FlatTopo{}, KohliGreedy{}, PartitionedPipeline{}} {
+			res, err := Measure(g, s, env, cachesim.Config{Capacity: env.M, Block: env.B}, 256, 512)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+			}
+			perFiring := float64(res.Stats.Misses) / float64(res.SourceFired)
+			if perFiring < 0.25*bound.PerSourceFiring {
+				t.Errorf("seed %d: %s measured %.4f under bound %.4f",
+					seed, s.Name(), perFiring, bound.PerSourceFiring)
+			}
+		}
+	}
+}
+
+func TestPropBuffersNeverExceedCaps(t *testing.T) {
+	// The FIFO layer enforces caps with errors; this re-checks occupancy
+	// via BufferUtilization across schedulers and random graphs.
+	env := Env{M: 128, B: 16}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randgraph.RandomSplitJoin(rng, randgraph.SplitJoinSpec{
+			Branches: 2, BranchDepth: 2, StateMin: 1, StateMax: 64, RateMax: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Scheduler{FlatTopo{}, PartitionedBatch{}} {
+			uses, err := BufferUtilization(g, s, env, 400)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+			}
+			for _, u := range uses {
+				if u.HighWater > u.Cap {
+					t.Errorf("seed %d %s: edge %d exceeded cap", seed, s.Name(), u.Edge)
+				}
+			}
+		}
+	}
+}

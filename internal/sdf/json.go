@@ -1,0 +1,108 @@
+package sdf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation used by the CLI tools.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name  string `json:"name"`
+	State int64  `json:"state"`
+}
+
+type jsonEdge struct {
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	Out  int64 `json:"out"`
+	In   int64 `json:"in"`
+}
+
+// MarshalJSON encodes the graph in the CLI interchange format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, State: n.State})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, jsonEdge{From: int(e.From), To: int(e.To), Out: e.Out, In: e.In})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// WriteJSON writes the graph to w in the CLI interchange format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses a graph from the CLI interchange format and validates it
+// through the normal Build path.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("sdf: parse graph json: %w", err)
+	}
+	b := NewBuilder(jg.Name)
+	for _, n := range jg.Nodes {
+		b.AddNode(n.Name, n.State)
+	}
+	for _, e := range jg.Edges {
+		b.Connect(NodeID(e.From), NodeID(e.To), e.Out, e.In)
+	}
+	return b.Build()
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. assign may be nil; if
+// given (with k components) nodes are clustered by component so a partition
+// can be inspected visually.
+func (g *Graph) WriteDOT(w io.Writer, assign []int, k int) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", g.name)
+	if assign != nil && len(assign) == len(g.nodes) {
+		byComp := make([][]NodeID, k)
+		for v, c := range assign {
+			if c >= 0 && c < k {
+				byComp[c] = append(byComp[c], NodeID(v))
+			}
+		}
+		for c, members := range byComp {
+			pr("  subgraph cluster_%d {\n    label=\"component %d\";\n", c, c)
+			for _, v := range members {
+				pr("    n%d [label=\"%s\\ns=%d q=%d\"];\n", v, g.nodes[v].Name, g.nodes[v].State, g.reps[v])
+			}
+			pr("  }\n")
+		}
+	} else {
+		for v, n := range g.nodes {
+			pr("  n%d [label=\"%s\\ns=%d q=%d\"];\n", v, n.Name, n.State, g.reps[v])
+		}
+	}
+	for _, e := range g.edges {
+		if e.Out == 1 && e.In == 1 {
+			pr("  n%d -> n%d;\n", e.From, e.To)
+		} else {
+			pr("  n%d -> n%d [label=\"%d:%d\"];\n", e.From, e.To, e.Out, e.In)
+		}
+	}
+	pr("}\n")
+	return err
+}

@@ -1,0 +1,159 @@
+package sdf
+
+// This file provides alternative topological linear extensions of a graph.
+// Interval partitioning (partition.IntervalGreedy) searches across several
+// linear extensions, since every well-ordered partition is an interval
+// partition of some linear extension; diversifying the extensions
+// diversifies the partitions reachable by the greedy packer.
+
+// OrderKind names a linear-extension construction strategy.
+type OrderKind int
+
+const (
+	// OrderKahnMinID is the canonical order: Kahn's algorithm breaking ties
+	// by smallest node ID.
+	OrderKahnMinID OrderKind = iota
+	// OrderDFS is a depth-first post-order based extension: it tends to keep
+	// chains contiguous, which suits pipelines and pipeline-like regions.
+	OrderDFS
+	// OrderBFS is a breadth-first (level) order: it keeps graph layers
+	// contiguous, which suits wide split-join regions.
+	OrderBFS
+	// OrderGainDFS is a depth-first extension that explores the
+	// highest-gain out-edge first, so heavy chains stay contiguous and the
+	// cheap edges get cut by interval packing.
+	OrderGainDFS
+)
+
+// orderKinds lists all strategies for callers that want to iterate.
+var orderKinds = []OrderKind{OrderKahnMinID, OrderDFS, OrderBFS, OrderGainDFS}
+
+// OrderKinds returns all available linear-extension strategies.
+func OrderKinds() []OrderKind { return append([]OrderKind(nil), orderKinds...) }
+
+// String names the order kind.
+func (k OrderKind) String() string {
+	switch k {
+	case OrderKahnMinID:
+		return "kahn"
+	case OrderDFS:
+		return "dfs"
+	case OrderBFS:
+		return "bfs"
+	case OrderGainDFS:
+		return "gain-dfs"
+	default:
+		return "unknown"
+	}
+}
+
+// LinearExtension returns a topological order of g constructed by the given
+// strategy. The returned slice is owned by the caller.
+func (g *Graph) LinearExtension(kind OrderKind) []NodeID {
+	switch kind {
+	case OrderDFS:
+		return g.dfsExtension(false)
+	case OrderGainDFS:
+		return g.dfsExtension(true)
+	case OrderBFS:
+		return g.bfsExtension()
+	default:
+		return append([]NodeID(nil), g.topo...)
+	}
+}
+
+// dfsExtension produces a linear extension via iterative DFS from the
+// source, emitting a node when all its predecessors have been emitted.
+// With byGain set, out-edges are explored heaviest-gain-first.
+func (g *Graph) dfsExtension(byGain bool) []NodeID {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	order := make([]NodeID, 0, n)
+	// Ready stack: LIFO gives DFS-like contiguity while the indegree gate
+	// preserves topological validity.
+	stack := []NodeID{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			stack = append(stack, NodeID(v))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		outs := g.outEdges[v]
+		if byGain && len(outs) > 1 {
+			outs = append([]EdgeID(nil), outs...)
+			// Sort ascending by gain so the heaviest ends up on top of the
+			// stack (popped first). Insertion sort: fan-outs are small.
+			for i := 1; i < len(outs); i++ {
+				for j := i; j > 0 && g.edgeGains[outs[j]].Cmp(g.edgeGains[outs[j-1]]) < 0; j-- {
+					outs[j], outs[j-1] = outs[j-1], outs[j]
+				}
+			}
+		}
+		for _, e := range outs {
+			w := g.edges[e].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return order
+}
+
+// bfsExtension produces a level-order linear extension.
+func (g *Graph) bfsExtension() []NodeID {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	order := make([]NodeID, 0, n)
+	queue := []NodeID{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.outEdges[v] {
+			w := g.edges[e].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// IsLinearExtension reports whether order is a permutation of the nodes
+// respecting all edges.
+func (g *Graph) IsLinearExtension(order []NodeID) bool {
+	if len(order) != len(g.nodes) {
+		return false
+	}
+	pos := make([]int, len(g.nodes))
+	seen := make([]bool, len(g.nodes))
+	for i, v := range order {
+		if int(v) < 0 || int(v) >= len(g.nodes) || seen[v] {
+			return false
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for _, e := range g.edges {
+		if pos[e.From] >= pos[e.To] {
+			return false
+		}
+	}
+	return true
+}

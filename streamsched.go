@@ -1,0 +1,186 @@
+package streamsched
+
+import (
+	"fmt"
+	"io"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/lowerbound"
+	"streamsched/internal/parallel"
+	"streamsched/internal/partition"
+	"streamsched/internal/ratio"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sdf"
+)
+
+// Core model types, re-exported for downstream users.
+type (
+	// Graph is an immutable, validated synchronous dataflow graph.
+	Graph = sdf.Graph
+	// GraphBuilder assembles a Graph; see NewGraph.
+	GraphBuilder = sdf.Builder
+	// NodeID identifies a module.
+	NodeID = sdf.NodeID
+	// EdgeID identifies a channel.
+	EdgeID = sdf.EdgeID
+	// Rat is an exact rational (gains and bandwidths are rationals).
+	Rat = ratio.Rat
+	// Partition assigns modules to cache-sized components.
+	Partition = partition.Partition
+	// CacheConfig describes the simulated cache (capacity and block size in
+	// words; optional associativity and policy).
+	CacheConfig = cachesim.Config
+	// CacheStats counts block transfers.
+	CacheStats = cachesim.Stats
+	// Env carries the cache parameters (M, B) schedulers plan against.
+	Env = schedule.Env
+	// Scheduler plans the execution of a graph.
+	Scheduler = schedule.Scheduler
+	// Result summarises a measured simulation.
+	Result = schedule.Result
+	// Bound is a computed lower-bound quantity.
+	Bound = lowerbound.Bound
+	// ParallelConfig describes a simulated multiprocessor run.
+	ParallelConfig = parallel.Config
+	// ParallelResult summarises a simulated multiprocessor run.
+	ParallelResult = parallel.Result
+)
+
+// NewGraph returns a builder for a graph with the given name. Add modules
+// with AddNode, channels with Connect or Chain, and validate with Build.
+func NewGraph(name string) *GraphBuilder { return sdf.NewBuilder(name) }
+
+// ReadGraphJSON parses and validates a graph from the JSON interchange
+// format used by the CLI tools.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return sdf.ReadJSON(r) }
+
+// PartitionGraph computes a low-bandwidth well-ordered partition with every
+// component's state at most bound words: the minimum-bandwidth segmentation
+// for pipelines (polynomial DP), the best available heuristic for dags.
+func PartitionGraph(g *Graph, bound int64) (*Partition, error) {
+	return partition.Auto(g, bound)
+}
+
+// PartitionTheorem5 computes the paper's constructive pipeline partition
+// (greedy 2M segments cut at gain-minimizing edges).
+func PartitionTheorem5(g *Graph, m int64) (*Partition, error) {
+	return partition.PipelineTheorem5(g, m)
+}
+
+// PartitionExact computes the exact minimum-bandwidth well-ordered
+// partition by dynamic programming over order ideals. Exponential; only
+// for graphs of at most partition.MaxExactNodes nodes.
+func PartitionExact(g *Graph, bound int64) (*Partition, error) {
+	return partition.Exact(g, bound)
+}
+
+// AutoScheduler returns the paper's partitioned scheduler matching the
+// graph's shape: the half-full-rule pipeline scheduler for pipelines, the
+// T=M batching scheduler for homogeneous dags, and the general batch
+// scheduler otherwise. The partition is computed at Prepare time.
+func AutoScheduler(g *Graph) Scheduler {
+	switch {
+	case g.IsPipeline():
+		return schedule.PartitionedPipeline{}
+	case g.IsHomogeneous():
+		return schedule.PartitionedHomogeneous{}
+	default:
+		return schedule.PartitionedBatch{}
+	}
+}
+
+// PartitionedScheduler returns the shape-appropriate partitioned scheduler
+// pinned to a specific partition.
+func PartitionedScheduler(g *Graph, p *Partition) Scheduler {
+	switch {
+	case g.IsPipeline():
+		return schedule.PartitionedPipeline{P: p}
+	case g.IsHomogeneous():
+		return schedule.PartitionedHomogeneous{P: p}
+	default:
+		return schedule.PartitionedBatch{P: p}
+	}
+}
+
+// Baselines returns the comparison schedulers from the paper's related
+// work: the flat single-appearance schedule, Sermulins-style execution
+// scaling, the minimal-buffer demand-driven schedule, and the Kohli-style
+// greedy heuristic.
+func Baselines() []Scheduler {
+	return []Scheduler{
+		schedule.FlatTopo{},
+		schedule.Scaled{S: 4},
+		schedule.DemandDriven{},
+		schedule.KohliGreedy{},
+	}
+}
+
+// ScaledScheduler returns the Sermulins-style baseline with scaling factor s.
+func ScaledScheduler(s int64) Scheduler { return schedule.Scaled{S: s} }
+
+// Simulate plans g with s, warms the cache with warm source firings, then
+// measures the next measured source firings and reports misses per item.
+func Simulate(g *Graph, s Scheduler, env Env, cache CacheConfig, warm, measured int64) (*Result, error) {
+	return schedule.Measure(g, s, env, cache, warm, measured)
+}
+
+// LowerBound computes the paper's lower bound on misses per source firing
+// for the graph: Theorem 3 for pipelines, Theorem 7/10 (exact minBW₃)
+// for small dags, and a heuristic estimate (Bound.Exact=false) otherwise.
+func LowerBound(g *Graph, m, b int64) (Bound, error) {
+	if g.IsPipeline() {
+		return lowerbound.Pipeline(g, m, b)
+	}
+	if g.NumNodes() <= partition.MaxExactNodes {
+		return lowerbound.DagExact(g, m, b)
+	}
+	return lowerbound.DagHeuristic(g, m, b)
+}
+
+// SimulateParallel runs the paper's parallel extension: cfg.Procs simulated
+// processors with private caches claim schedulable components dynamically.
+// Homogeneous dags and pipelines are supported.
+func SimulateParallel(g *Graph, p *Partition, cfg ParallelConfig, target int64) (*ParallelResult, error) {
+	switch {
+	case g.IsHomogeneous():
+		return parallel.RunHomogeneous(g, p, cfg, target)
+	case g.IsPipeline():
+		return parallel.RunPipeline(g, p, cfg, target)
+	default:
+		return nil, fmt.Errorf("streamsched: parallel execution supports homogeneous dags and pipelines, not %s", g.Name())
+	}
+}
+
+// Bandwidth returns the partition's bandwidth (items crossing component
+// boundaries per source firing) as an exact rational.
+func Bandwidth(g *Graph, p *Partition) (Rat, error) { return p.Bandwidth(g) }
+
+// BufferUse reports one channel's allocated capacity against the occupancy
+// a plan actually reached.
+type BufferUse = schedule.BufferUse
+
+// MeasureBufferUse probes a scheduler's buffer plan: it runs `probe`
+// source firings and reports per-channel high-water occupancy, mapping
+// where a plan's memory goes (see the §3 open problem on cross-edge
+// buffer sizes and experiment E17).
+func MeasureBufferUse(g *Graph, s Scheduler, env Env, probe int64) ([]BufferUse, error) {
+	return schedule.BufferUtilization(g, s, env, probe)
+}
+
+// BatchScheduler returns the general partitioned batch scheduler with an
+// explicit batch-size target (0 means the default T >= M). Smaller T
+// trades cross-edge buffer memory for extra component reloads.
+func BatchScheduler(minT int64) Scheduler { return schedule.PartitionedBatch{MinT: minT} }
+
+// CompiledSchedule is a static looped schedule (prologue + repeating
+// period) extracted from a dynamic scheduler; see CompileSchedule.
+type CompiledSchedule = schedule.Compiled
+
+// CompileSchedule records a scheduler's firing decisions until its
+// steady-state cycle recurs and returns a static, exportable schedule
+// that replays identically. warm source firings are executed before cycle
+// detection so the period captures the limit cycle; maxSource bounds the
+// recording.
+func CompileSchedule(g *Graph, s Scheduler, env Env, warm, maxSource int64) (*CompiledSchedule, error) {
+	return schedule.Compile(g, s, env, warm, maxSource)
+}

@@ -1,0 +1,200 @@
+package streamsched_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamsched"
+	"streamsched/workloads"
+)
+
+func buildPipeline(t *testing.T, n int, state int64) *streamsched.Graph {
+	t.Helper()
+	b := streamsched.NewGraph("pipe")
+	ids := make([]streamsched.NodeID, n)
+	for i := range ids {
+		s := state
+		if i == 0 || i == n-1 {
+			s = 0
+		}
+		ids[i] = b.AddNode("m", s)
+	}
+	b.Chain(ids...)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	g := buildPipeline(t, 12, 128)
+	env := streamsched.Env{M: 256, B: 16}
+	cache := streamsched.CacheConfig{Capacity: 512, Block: 16}
+
+	p, err := streamsched.PartitionGraph(g, env.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := streamsched.Bandwidth(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Sign() <= 0 {
+		t.Errorf("bandwidth = %v, want > 0 for an oversized pipeline", bw)
+	}
+
+	s := streamsched.AutoScheduler(g)
+	if s.Name() != "partitioned-pipeline" {
+		t.Errorf("auto scheduler = %s", s.Name())
+	}
+	res, err := streamsched.Simulate(g, s, env, cache, 512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissesPerItem <= 0 {
+		t.Error("no misses measured")
+	}
+
+	bound, err := streamsched.LowerBound(g, env.M, env.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound.Exact || bound.PerSourceFiring <= 0 {
+		t.Errorf("bound = %+v", bound)
+	}
+}
+
+func TestAutoSchedulerShapes(t *testing.T) {
+	fm, err := workloads.FMRadio(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamsched.AutoScheduler(fm).Name(); got != "partitioned-homog" {
+		t.Errorf("fmradio scheduler = %s", got)
+	}
+	fb, err := workloads.Filterbank(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamsched.AutoScheduler(fb).Name(); got != "partitioned-batch" {
+		t.Errorf("filterbank scheduler = %s", got)
+	}
+	mp3, err := workloads.MP3Decoder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamsched.AutoScheduler(mp3).Name(); got != "partitioned-pipeline" {
+		t.Errorf("mp3 scheduler = %s", got)
+	}
+}
+
+func TestBaselinesRun(t *testing.T) {
+	g := buildPipeline(t, 8, 64)
+	env := streamsched.Env{M: 256, B: 16}
+	cache := streamsched.CacheConfig{Capacity: 512, Block: 16}
+	for _, s := range streamsched.Baselines() {
+		res, err := streamsched.Simulate(g, s, env, cache, 128, 256)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if res.SourceFired < 256 {
+			t.Errorf("%s fired %d", s.Name(), res.SourceFired)
+		}
+	}
+	if streamsched.ScaledScheduler(7).Name() != "scaled(s=7)" {
+		t.Error("scaled name wrong")
+	}
+}
+
+func TestPartitionedSchedulerPinned(t *testing.T) {
+	g := buildPipeline(t, 8, 64)
+	p, err := streamsched.PartitionTheorem5(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := streamsched.PartitionedScheduler(g, p)
+	res, err := streamsched.Simulate(g, s, streamsched.Env{M: 64, B: 16},
+		streamsched.CacheConfig{Capacity: 1024, Block: 16}, 256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissesPerItem <= 0 {
+		t.Error("no misses measured")
+	}
+}
+
+func TestPartitionExactFacade(t *testing.T) {
+	g := buildPipeline(t, 6, 8)
+	p, err := streamsched.PartitionExact(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateParallelFacade(t *testing.T) {
+	fm, err := workloads.FMRadio(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamsched.ParallelConfig{
+		Procs: 2,
+		Env:   streamsched.Env{M: 128, B: 16},
+		Cache: streamsched.CacheConfig{Capacity: 512, Block: 16},
+	}
+	res, err := streamsched.SimulateParallel(fm, nil, cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceFired < 300 {
+		t.Errorf("fired %d", res.SourceFired)
+	}
+	fb, err := workloads.Filterbank(2, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streamsched.SimulateParallel(fb, nil, cfg, 10); err == nil {
+		t.Error("inhomogeneous non-pipeline accepted by parallel facade")
+	}
+}
+
+func TestReadGraphJSONFacade(t *testing.T) {
+	js := `{"name":"tiny","nodes":[{"name":"s","state":0},{"name":"t","state":0}],
+	        "edges":[{"from":0,"to":1,"out":1,"in":1}]}`
+	g, err := streamsched.ReadGraphJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Error("parse failed")
+	}
+}
+
+func TestLowerBoundDagPaths(t *testing.T) {
+	fm, err := workloads.FMRadio(2, 32) // 10 nodes: exact path
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := streamsched.LowerBound(fm, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound.Exact {
+		t.Error("small dag should get exact bound")
+	}
+	big, err := workloads.FMRadio(16, 32) // 38 nodes: heuristic path
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := streamsched.LowerBound(big, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Exact {
+		t.Error("large dag should get heuristic bound")
+	}
+}

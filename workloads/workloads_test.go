@@ -1,0 +1,217 @@
+package workloads
+
+import (
+	"testing"
+
+	"streamsched/internal/sdf"
+)
+
+func TestFMRadio(t *testing.T) {
+	g, err := FMRadio(8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsHomogeneous() {
+		t.Error("fmradio should be homogeneous")
+	}
+	if g.IsPipeline() {
+		t.Error("fmradio has a split-join; not a pipeline")
+	}
+	if g.NumNodes() != 6+16 {
+		t.Errorf("nodes = %d, want 22", g.NumNodes())
+	}
+	if _, err := FMRadio(0, 4); err == nil {
+		t.Error("bands=0 accepted")
+	}
+	if _, err := FMRadio(2, 0); err == nil {
+		t.Error("state=0 accepted")
+	}
+}
+
+func TestFilterbankRates(t *testing.T) {
+	g, err := Filterbank(4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsHomogeneous() {
+		t.Error("factor-4 filterbank should be inhomogeneous")
+	}
+	// Decimated stages fire 4x less often than the splitter.
+	split, _ := g.NodeByName("split")
+	proc, _ := g.NodeByName("proc0")
+	if g.Repetitions(split) != 4*g.Repetitions(proc) {
+		t.Errorf("reps: split %d, proc %d; want 4:1", g.Repetitions(split), g.Repetitions(proc))
+	}
+	// factor=1 degenerates to homogeneous.
+	g1, err := Filterbank(2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.IsHomogeneous() {
+		t.Error("factor-1 filterbank should be homogeneous")
+	}
+	if _, err := Filterbank(0, 1, 8); err == nil {
+		t.Error("branches=0 accepted")
+	}
+	if _, err := Filterbank(2, 0, 8); err == nil {
+		t.Error("factor=0 accepted")
+	}
+	if _, err := Filterbank(2, 2, 0); err == nil {
+		t.Error("state=0 accepted")
+	}
+}
+
+func TestBeamformer(t *testing.T) {
+	g, err := Beamformer(4, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsHomogeneous() {
+		t.Error("beamformer should be homogeneous")
+	}
+	want := 6 + 4*2 + 2*2
+	if g.NumNodes() != want {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if _, err := Beamformer(0, 1, 8); err == nil {
+		t.Error("channels=0 accepted")
+	}
+	if _, err := Beamformer(1, 1, 0); err == nil {
+		t.Error("state=0 accepted")
+	}
+}
+
+func TestFFT(t *testing.T) {
+	g, err := FFT(6, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsPipeline() {
+		t.Error("fft should be a pipeline")
+	}
+	if g.IsHomogeneous() {
+		t.Error("fft frames make it inhomogeneous")
+	}
+	// One butterfly firing per 64 source firings.
+	b0, _ := g.NodeByName("butterfly0")
+	if 64*g.Repetitions(b0) != g.Repetitions(g.Source()) {
+		t.Errorf("reps: src %d, butterfly %d", g.Repetitions(g.Source()), g.Repetitions(b0))
+	}
+	if _, err := FFT(0, 4, 4); err == nil {
+		t.Error("stages=0 accepted")
+	}
+	if _, err := FFT(2, 0, 4); err == nil {
+		t.Error("frame=0 accepted")
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	g, err := BitonicSort(6, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsHomogeneous() {
+		t.Error("bitonic should be homogeneous")
+	}
+	if g.NumNodes() != 2+6*4 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	// Width 1 degenerates to a pipeline.
+	g1, err := BitonicSort(3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.IsPipeline() {
+		t.Error("width-1 bitonic should be a pipeline")
+	}
+	if _, err := BitonicSort(0, 1, 8); err == nil {
+		t.Error("depth=0 accepted")
+	}
+	if _, err := BitonicSort(1, 1, 0); err == nil {
+		t.Error("state=0 accepted")
+	}
+}
+
+func TestDES(t *testing.T) {
+	g, err := DES(16, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsPipeline() || !g.IsHomogeneous() {
+		t.Error("des should be a homogeneous pipeline")
+	}
+	if g.NumNodes() != 16+4 {
+		t.Errorf("nodes = %d, want 20", g.NumNodes())
+	}
+	if _, err := DES(0, 8); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+	if _, err := DES(4, 0); err == nil {
+		t.Error("state=0 accepted")
+	}
+}
+
+func TestMP3Decoder(t *testing.T) {
+	g, err := MP3Decoder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsPipeline() {
+		t.Error("mp3 should be a pipeline")
+	}
+	if g.IsHomogeneous() {
+		t.Error("mp3 should be inhomogeneous")
+	}
+	// Per frame: dequant fires 12x the source rate.
+	dq, _ := g.NodeByName("dequant")
+	if g.Repetitions(dq) != 12*g.Repetitions(g.Source()) {
+		t.Errorf("reps: src %d, dequant %d", g.Repetitions(g.Source()), g.Repetitions(dq))
+	}
+	if _, err := MP3Decoder(0); err == nil {
+		t.Error("tableScale=0 accepted")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	graphs, err := Suite(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 7 {
+		t.Fatalf("suite size = %d, want 7", len(graphs))
+	}
+	names := map[string]bool{}
+	for _, g := range graphs {
+		if names[g.Name()] {
+			t.Errorf("duplicate workload %s", g.Name())
+		}
+		names[g.Name()] = true
+		if g.NumNodes() < 4 {
+			t.Errorf("%s suspiciously small", g.Name())
+		}
+		if g.TotalState() <= 0 {
+			t.Errorf("%s has no state", g.Name())
+		}
+	}
+	// Tiny m still works via the floor.
+	if _, err := Suite(1); err != nil {
+		t.Errorf("Suite(1): %v", err)
+	}
+}
+
+func TestSuiteGraphsAreSchedulable(t *testing.T) {
+	// Every suite graph must expose a consistent repetition vector (Build
+	// already guarantees it; this asserts gains stay small enough for the
+	// batch scheduler's quotas).
+	graphs, err := Suite(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range graphs {
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Repetitions(sdf.NodeID(v)) > 1<<16 {
+				t.Errorf("%s: reps[%d] = %d too large", g.Name(), v, g.Repetitions(sdf.NodeID(v)))
+			}
+		}
+	}
+}
