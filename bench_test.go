@@ -399,3 +399,36 @@ func BenchmarkE14RealMemory(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE19MissCurveSweep compares the cost of an M-sweep done the old
+// way (one full Measure per cache size) against the one-pass miss-curve
+// engine (record one trace, reuse-distance profile it, read off every
+// capacity). The engine's time is independent of the number of swept
+// points; the naive sweep scales linearly with them.
+func BenchmarkE19MissCurveSweep(b *testing.B) {
+	g := benchPipeline(b, 34, 128)
+	env := schedule.Env{M: 512, B: 16}
+	caps := []int64{256, 512, 1024, 2048, 4096}
+	warm, meas := int64(256), int64(2048)
+	b.Run(fmt.Sprintf("%d-point-simulate", len(caps)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range caps {
+				cfg := cachesim.Config{Capacity: c, Block: env.B}
+				if _, err := schedule.Measure(g, schedule.PartitionedPipeline{}, env, cfg, warm, meas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("miss-curve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cr, err := schedule.MeasureCurve(g, schedule.PartitionedPipeline{}, env, env.B, warm, meas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range caps {
+				_ = cr.Curve.MissesAtCapacity(c, env.B)
+			}
+		}
+	})
+}

@@ -39,7 +39,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := map[string]bool{}
-	for i := 1; i <= 18; i++ {
+	for i := 1; i <= 19; i++ {
 		if i == 14 {
 			continue // E14 is the real-memory benchmark in bench_test.go
 		}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/report"
+	"streamsched/internal/schedule"
+)
+
+func init() {
+	register("E19", "one-pass miss curves: the E1 M-sweep from one trace per scheduler", runE19)
+}
+
+// runE19 regenerates the shape of E1 — misses/item vs cache size for every
+// scheduler — but from one recorded trace per scheduler instead of one
+// simulation per (scheduler, M) point: Mattson reuse-distance profiling
+// yields the exact fully-associative LRU miss count for every capacity in
+// a single pass. The experiment cross-validates the curve against the
+// cache simulator and reports the wall-clock advantage of sweeping through
+// the curve.
+func runE19(cfg runConfig) error {
+	n, state := 34, int64(128)
+	warm, meas := int64(512), int64(2048)
+	if cfg.full {
+		n, meas = 66, 8192
+	}
+	g, err := uniformPipeline("uniform-pipeline", n, state)
+	if err != nil {
+		return err
+	}
+	// Schedules are planned once for a mid-range design size; the curves
+	// then evaluate those fixed schedules across the whole capacity axis.
+	designM := int64(512)
+	env := schedule.Env{M: designM, B: 16}
+	scheds := append(baselineSchedulers(), partitionedFor(g))
+
+	// workers=1 so the wall-clock comparison below is sequential vs
+	// sequential: the printed ratio is the engine's algorithmic gain, not
+	// goroutine parallelism (which SweepCurves adds on top; see workers=0).
+	start := time.Now()
+	outcomes := schedule.SweepCurves(g, scheds, env, env.B, warm, meas, 1)
+	curveTime := time.Since(start)
+	results := make([]*schedule.CurveResult, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
+		results = append(results, o.Value)
+	}
+
+	caps := []int64{256, 512, 1024, 2048, 4096, 8192}
+	cols := []string{"cache"}
+	for _, r := range results {
+		cols = append(cols, r.Scheduler)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("E19: misses/item vs cache capacity from one trace/scheduler (pipeline n=%d, state=%d, designed at M=%d, B=16)",
+			n, state, designM),
+		cols...)
+	for _, c := range caps {
+		row := []string{report.I(c)}
+		for _, r := range results {
+			row = append(row, report.F(r.MissesPerItem(c, env.B)))
+		}
+		tb.Add(row...)
+	}
+	if err := tb.Render(stdout); err != nil {
+		return err
+	}
+
+	// Cross-validate one column against the simulator and time the naive
+	// equivalent of the whole sweep.
+	start = time.Now()
+	exact := true
+	for si, s := range scheds {
+		for _, c := range caps {
+			res, err := schedule.Measure(g, s, env, cachesim.Config{Capacity: c, Block: env.B}, warm, meas)
+			if err != nil {
+				return err
+			}
+			if res.Stats.Misses != results[si].Curve.MissesAtCapacity(c, env.B) {
+				exact = false
+				fmt.Fprintf(stdout, "MISMATCH: %s at capacity %d: simulate %d, curve %d\n",
+					s.Name(), c, res.Stats.Misses, results[si].Curve.MissesAtCapacity(c, env.B))
+			}
+		}
+	}
+	simTime := time.Since(start)
+	status := "exact match at every point"
+	if !exact {
+		status = "MISMATCHED (see above)"
+	}
+	fmt.Fprintf(stdout, "cross-validation vs cachesim (%d scheduler x %d capacity points): %s\n",
+		len(scheds), len(caps), status)
+	fmt.Fprintf(stdout, "wall clock (both sequential): %v for %d curves vs %v for %d simulations (%.1fx)\n",
+		curveTime.Round(time.Millisecond), len(scheds),
+		simTime.Round(time.Millisecond), len(scheds)*len(caps),
+		float64(simTime)/float64(curveTime))
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s: trace %d accesses (%d in window), working set %d blocks\n",
+			r.Scheduler, r.TraceLen, r.Curve.Accesses, r.Curve.SaturationLines())
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	streamsched info <graph.json>
 //	streamsched partition -M 512 [-algo auto] [-dot out.dot] <graph.json>
 //	streamsched simulate -M 512 -B 16 [-cache 1024] [-sched partitioned] <graph.json>
+//	streamsched misscurve -M 512 -B 16 [-sched all] <graph.json>
 //	streamsched export -workload fmradio [-o graph.json]
 package main
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"streamsched"
+	"streamsched/internal/report"
+	"streamsched/internal/schedule"
+)
+
+// cmdMissCurve records one trace per scheduler and reuse-distance profiles
+// it, printing misses/item for a whole grid of cache capacities from a
+// single run each — the one-pass replacement for sweeping `simulate -cache`.
+func cmdMissCurve(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("misscurve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	m := fs.Int64("M", 0, "design cache size in words (schedules are planned for this)")
+	b := fs.Int64("B", 16, "block size in words")
+	sched := fs.String("sched", "all", "scheduler, or \"all\" for baselines + partitioned")
+	capsFlag := fs.String("caps", "", "comma-separated capacities in words (k/m suffixes ok; default: powers of two to saturation)")
+	warm := fs.Int64("warm", 1024, "warmup source firings")
+	meas := fs.Int64("measure", 4096, "measured source firings")
+	scale := fs.Int64("scale", 4, "scaling factor for -sched scaled")
+	workers := fs.Int("workers", 0, "parallel recordings (default GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	g, err := loadGraph(fs)
+	if err != nil {
+		return err
+	}
+	if *m <= 0 || *b <= 0 {
+		return fmt.Errorf("misscurve: -M and -B must be positive\n%w", errUsage)
+	}
+	var scheds []schedule.Scheduler
+	if *sched == "all" {
+		scheds = streamsched.Baselines()
+		part, err := schedulerBy("partitioned", g, *scale)
+		if err != nil {
+			return err
+		}
+		scheds = append(scheds, part)
+	} else {
+		s, err := schedulerBy(*sched, g, *scale)
+		if err != nil {
+			return err
+		}
+		scheds = []schedule.Scheduler{s}
+	}
+	// Validate the explicit capacity list before paying for the sweep.
+	caps, err := parseCaps(*capsFlag, *b)
+	if err != nil {
+		return err
+	}
+	env := schedule.Env{M: *m, B: *b}
+	outcomes := schedule.SweepCurves(g, scheds, env, *b, *warm, *meas, *workers)
+	results := make([]*schedule.CurveResult, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("misscurve: %s: %w", o.Name, o.Err)
+		}
+		results = append(results, o.Value)
+	}
+	if caps == nil {
+		caps = defaultCapacityGrid(*b, results)
+	}
+	cols := []string{"capacity"}
+	for _, r := range results {
+		cols = append(cols, r.Scheduler)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("misses/item vs cache capacity (%s, designed for M=%d, B=%d, one trace per scheduler)",
+			g.Name(), *m, *b),
+		cols...)
+	for _, c := range caps {
+		row := []string{report.I(c)}
+		for _, r := range results {
+			row = append(row, report.F(r.MissesPerItem(c, *b)))
+		}
+		tb.Add(row...)
+	}
+	if *csv {
+		return tb.RenderCSV(out)
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(out, "%s: %d accesses over %d items, working set %d blocks\n",
+			r.Scheduler, r.Curve.Accesses, r.InputItems, r.Curve.SaturationLines())
+	}
+	return nil
+}
+
+// parseCaps parses the -caps flag into block-aligned capacities, or
+// returns nil when the flag is empty (caller derives the default grid).
+func parseCaps(flagVal string, block int64) ([]int64, error) {
+	if flagVal == "" {
+		return nil, nil
+	}
+	var caps []int64
+	for _, f := range strings.Split(flagVal, ",") {
+		v, err := parseSize(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("misscurve: bad capacity %q: %w", f, err)
+		}
+		if v < block {
+			return nil, fmt.Errorf("misscurve: capacity %d below block size %d", v, block)
+		}
+		caps = append(caps, v-v%block)
+	}
+	return caps, nil
+}
+
+// defaultCapacityGrid is the grid used without -caps: powers of two in
+// whole blocks, from one block to just past the largest working set.
+func defaultCapacityGrid(block int64, results []*schedule.CurveResult) []int64 {
+	var maxWords int64
+	for _, r := range results {
+		if w := r.Curve.SaturationLines() * block; w > maxWords {
+			maxWords = w
+		}
+	}
+	var caps []int64
+	for c := block; ; c *= 2 {
+		caps = append(caps, c)
+		if c >= 2*maxWords {
+			break
+		}
+	}
+	return caps
+}

@@ -23,6 +23,7 @@ var errUsage = errors.New(`usage:
   streamsched info <graph.json>
   streamsched partition -M <words> [-algo auto|theorem5|dp|interval|agglomerative|exact] [-dot <out.dot>] <graph.json>
   streamsched simulate -M <words> -B <words> [-cache <words>] [-sched <name>] [-warm N] [-measure N] <graph.json>
+  streamsched misscurve -M <words> -B <words> [-sched <name>|all] [-caps c1,c2,...] [-csv] <graph.json>
   streamsched bound -M <words> -B <words> <graph.json>
   streamsched buffers -M <words> [-sched <name>] [-probe N] <graph.json>
   streamsched compile -M <words> [-sched <name>] [-o <file>] <graph.json>
@@ -42,6 +43,8 @@ func run(args []string, out io.Writer) error {
 		return cmdPartition(args[1:], out)
 	case "simulate":
 		return cmdSimulate(args[1:], out)
+	case "misscurve":
+		return cmdMissCurve(args[1:], out)
 	case "bound":
 		return cmdBound(args[1:], out)
 	case "buffers":

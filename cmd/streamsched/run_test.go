@@ -233,3 +233,50 @@ func TestParseSize(t *testing.T) {
 		t.Error("parseSize(x) accepted")
 	}
 }
+
+func TestMissCurveCommand(t *testing.T) {
+	path := writeGraph(t, "fmradio", 64)
+	var sb strings.Builder
+	err := run([]string{"misscurve", "-M", "256", "-B", "16", "-warm", "64", "-measure", "256", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"flat-topo", "kohli-greedy", "partitioned", "working set"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("misscurve output missing %q:\n%s", want, out)
+		}
+	}
+	// Explicit capacity grid with size suffixes, CSV output.
+	sb.Reset()
+	err = run([]string{"misscurve", "-M", "256", "-sched", "flat", "-caps", "256,1k,4k",
+		"-warm", "64", "-measure", "256", "-csv", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // header + 3 capacities
+		t.Fatalf("csv lines = %d, want 4:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[1], "256,") || !strings.HasPrefix(lines[2], "1024,") || !strings.HasPrefix(lines[3], "4096,") {
+		t.Errorf("csv capacities wrong:\n%s", sb.String())
+	}
+	// Misses/item must not increase as capacity grows.
+	prev := -1.0
+	for i, ln := range lines[1:] {
+		f, err := strconv.ParseFloat(strings.Split(ln, ",")[1], 64)
+		if err != nil {
+			t.Fatalf("csv line %d: %v", i+1, err)
+		}
+		if prev >= 0 && f > prev {
+			t.Errorf("misses/item increased with capacity: %v", lines)
+		}
+		prev = f
+	}
+	if err := run([]string{"misscurve", path}, &sb); err == nil {
+		t.Error("missing -M accepted")
+	}
+	if err := run([]string{"misscurve", "-M", "256", "-caps", "7", path}, &sb); err == nil {
+		t.Error("capacity below block size accepted")
+	}
+}

@@ -22,6 +22,15 @@
 //	}, 10_000, 100_000)
 //	fmt.Println(res.MissesPerItem)
 //
+// The paper's experiments sweep the cache size M; SimulateCurve replaces
+// one simulation per swept point with a single recorded run: the
+// internal/trace engine captures the block-access trace and
+// reuse-distance profiles it (Mattson's one-pass stack algorithm), giving
+// the exact LRU miss count for every capacity at once:
+//
+//	cr, _ := streamsched.SimulateCurve(g, s, env, env.B, 10_000, 100_000)
+//	fmt.Println(cr.MissesPerItem(4096, env.B), cr.MissesPerItem(65536, env.B))
+//
 // Subpackage workloads provides parameterised topologies of classic
 // streaming applications; cmd/experiments regenerates every experiment in
 // EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.

@@ -140,7 +140,8 @@ type Cache struct {
 	seen  map[int64]struct{}
 	stats Stats
 
-	traceRec    *Trace       // non-nil while recording (opt.go)
+	traceRec    *Trace       // non-nil while StartTrace recording (opt.go)
+	observer    func(int64)  // per-block-access tap (SetObserver / StartTrace)
 	classes     []classRange // registered object ranges (classify.go)
 	classMisses ClassStats
 }
@@ -199,6 +200,22 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) ResetStats() {
 	c.stats = Stats{}
 	c.classMisses = ClassStats{}
+}
+
+// SetObserver installs (or, with nil, removes) a callback invoked with the
+// block id of every block-level access, before the hit/miss resolution.
+// The reuse-distance engine (internal/trace) records traces through it;
+// the stream it sees is exactly the stream the replacement policy sees.
+// The cache has a single tap: StartTrace also claims it, so an observer
+// and an OPT-replay trace cannot record simultaneously. While a
+// StartTrace recording is active any SetObserver call — including nil,
+// which would silently truncate the trace — panics; end the recording
+// with StopTrace first.
+func (c *Cache) SetObserver(fn func(blk int64)) {
+	if c.traceRec != nil {
+		panic("cachesim: SetObserver while a StartTrace recording is active; call StopTrace first")
+	}
+	c.observer = fn
 }
 
 // Access touches the word range [addr, addr+size) with the given intent.
@@ -296,8 +313,8 @@ func (c *Cache) residentBlock(blk int64) bool {
 
 func (c *Cache) accessBlock(blk int64, write bool) {
 	c.stats.Accesses++
-	if c.traceRec != nil {
-		c.traceRec.blocks = append(c.traceRec.blocks, blk)
+	if c.observer != nil {
+		c.observer(blk)
 	}
 	if c.cfg.Ways == 0 {
 		c.faAccess(blk, write)

@@ -345,3 +345,163 @@ func BenchmarkSetAssociativeAccess(b *testing.B) {
 		c.AccessWord(addrs[i&4095], false)
 	}
 }
+
+func TestSingleLineCacheThrashes(t *testing.T) {
+	// Capacity == Block is the smallest legal cache: one line. Alternating
+	// blocks always miss; repeating the same block always hits.
+	for _, policy := range []Policy{LRU, FIFO} {
+		c := mustCache(t, Config{Capacity: 8, Block: 8, Policy: policy})
+		c.AccessWord(0, false)  // miss (block 0)
+		c.AccessWord(3, false)  // hit, same block
+		c.AccessWord(8, false)  // miss, evicts 0
+		c.AccessWord(0, false)  // miss, evicts 1
+		c.AccessWord(7, true)   // hit
+		c.AccessWord(15, false) // miss, writeback of dirty block 0
+		st := c.Stats()
+		if st.Accesses != 6 || st.Misses != 4 || st.Hits != 2 {
+			t.Errorf("%v one-line cache: %+v", policy, st)
+		}
+		if st.Evictions != 3 {
+			t.Errorf("%v one-line cache evictions = %d, want 3", policy, st.Evictions)
+		}
+		if st.Writebacks != 1 {
+			t.Errorf("%v one-line cache writebacks = %d, want 1", policy, st.Writebacks)
+		}
+		if st.Compulsory != 2 { // only blocks 0 and 1 are ever touched
+			t.Errorf("%v one-line cache compulsory = %d, want 2", policy, st.Compulsory)
+		}
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// Ways=1 is direct-mapped: 4 lines of 1 word, block b lands in set b%4.
+	// Blocks 0 and 4 conflict; 1, 2, 3 are undisturbed.
+	c := mustCache(t, Config{Capacity: 4, Block: 1, Ways: 1})
+	for _, b := range []int64{0, 1, 2, 3} {
+		c.AccessWord(b, false)
+	}
+	if c.Stats().Misses != 4 {
+		t.Fatalf("cold misses = %d, want 4", c.Stats().Misses)
+	}
+	c.AccessWord(4, false) // conflict-evicts 0 despite 3 free-looking ways elsewhere
+	c.AccessWord(0, false) // conflict-evicts 4
+	c.AccessWord(1, false) // still resident: different set
+	st := c.Stats()
+	if st.Misses != 6 {
+		t.Errorf("misses = %d, want 6 (two conflict misses)", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1", st.Hits)
+	}
+	if got := c.Len(); got != 4 {
+		t.Errorf("resident blocks = %d, want 4", got)
+	}
+}
+
+func TestDirectMappedFIFOEqualsLRU(t *testing.T) {
+	// With a single way there is no replacement choice: FIFO and LRU must
+	// produce identical statistics on any trace.
+	rng := rand.New(rand.NewSource(9))
+	lru := mustCache(t, Config{Capacity: 8, Block: 2, Ways: 1})
+	fifo := mustCache(t, Config{Capacity: 8, Block: 2, Ways: 1, Policy: FIFO})
+	for i := 0; i < 2000; i++ {
+		addr := rng.Int63n(64)
+		write := rng.Intn(4) == 0
+		lru.AccessWord(addr, write)
+		fifo.AccessWord(addr, write)
+	}
+	if lru.Stats() != fifo.Stats() {
+		t.Errorf("direct-mapped LRU %+v != FIFO %+v", lru.Stats(), fifo.Stats())
+	}
+}
+
+func TestSetAssociativeFIFOIgnoresRecency(t *testing.T) {
+	// 2 sets x 2 ways, 1-word blocks. Blocks 0,2,4 all map to set 0.
+	// Under FIFO, re-touching 0 does not save it from eviction.
+	c := mustCache(t, Config{Capacity: 4, Block: 1, Ways: 2, Policy: FIFO})
+	c.AccessWord(0, false)
+	c.AccessWord(2, false)
+	c.AccessWord(0, false) // hit; no promotion under FIFO
+	c.AccessWord(4, false) // set 0 full: evicts 0 (oldest insertion)
+	pre := c.Stats().Misses
+	c.AccessWord(0, false)
+	if c.Stats().Misses != pre+1 {
+		t.Error("set-associative FIFO should have evicted block 0 despite recent use")
+	}
+	// Same sequence under LRU keeps 0 and evicts 2 instead.
+	c = mustCache(t, Config{Capacity: 4, Block: 1, Ways: 2})
+	c.AccessWord(0, false)
+	c.AccessWord(2, false)
+	c.AccessWord(0, false) // promotes 0
+	c.AccessWord(4, false) // evicts 2
+	pre = c.Stats().Misses
+	c.AccessWord(0, false)
+	if c.Stats().Misses != pre {
+		t.Error("set-associative LRU should have kept block 0")
+	}
+	c.AccessWord(2, false)
+	if c.Stats().Misses != pre+1 {
+		t.Error("set-associative LRU should have evicted block 2")
+	}
+}
+
+func TestFullyAssociativeFIFOFlushAndRefill(t *testing.T) {
+	// FIFO boundary: fill, flush (with a dirty block), refill. Flush must
+	// count evictions and the writeback, and reset insertion order.
+	c := mustCache(t, Config{Capacity: 3, Block: 1, Policy: FIFO})
+	c.AccessWord(0, true)
+	c.AccessWord(1, false)
+	c.AccessWord(2, false)
+	c.Flush()
+	st := c.Stats()
+	if st.Evictions != 3 || st.Writebacks != 1 {
+		t.Fatalf("flush evictions=%d writebacks=%d, want 3 and 1", st.Evictions, st.Writebacks)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("resident after flush = %d", c.Len())
+	}
+	c.AccessWord(2, false)
+	c.AccessWord(1, false)
+	c.AccessWord(0, false)
+	c.AccessWord(3, false) // evicts 2: first inserted after the flush
+	pre := c.Stats().Misses
+	c.AccessWord(1, false)
+	c.AccessWord(0, false)
+	if c.Stats().Misses != pre {
+		t.Error("blocks 1 and 0 should have survived the post-flush eviction")
+	}
+	c.AccessWord(2, false)
+	if c.Stats().Misses != pre+1 {
+		t.Error("block 2 should have been the FIFO victim after refill")
+	}
+}
+
+func TestObserverAndTraceTapConflictPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	c := mustCache(t, Config{Capacity: 64, Block: 8})
+	c.SetObserver(func(int64) {})
+	mustPanic("StartTrace over observer", c.StartTrace)
+	c.SetObserver(nil)
+	c.StartTrace()
+	mustPanic("SetObserver over trace", func() { c.SetObserver(func(int64) {}) })
+	mustPanic("SetObserver(nil) over trace", func() { c.SetObserver(nil) })
+	c.AccessWord(0, false)
+	c.AccessWord(8, false)
+	if tr := c.StopTrace(); tr == nil || tr.Len() != 2 {
+		t.Fatalf("trace after conflict guards: %v", tr)
+	}
+	// Tap is free again: both directions work.
+	c.SetObserver(func(int64) {})
+	c.SetObserver(nil)
+	c.StartTrace()
+	if tr := c.StopTrace(); tr == nil {
+		t.Fatal("restarted trace missing")
+	}
+}

@@ -17,16 +17,27 @@ type Trace struct {
 func (t *Trace) Len() int { return len(t.blocks) }
 
 // StartTrace begins recording block accesses on the cache. Any previous
-// recording is discarded.
+// StartTrace recording is discarded. It is implemented over the cache's
+// single observer tap; starting a trace while a SetObserver callback is
+// installed would silently steal that callback's access stream, so it
+// panics instead.
 func (c *Cache) StartTrace() {
-	c.traceRec = &Trace{}
+	if c.observer != nil && c.traceRec == nil {
+		panic("cachesim: StartTrace while a SetObserver callback is installed")
+	}
+	t := &Trace{}
+	c.traceRec = t
+	c.observer = func(blk int64) { t.blocks = append(t.blocks, blk) }
 }
 
-// StopTrace ends recording and returns the captured trace (nil if
-// recording was never started).
+// StopTrace ends recording, removes the recording observer, and returns
+// the captured trace (nil if recording was never started).
 func (c *Cache) StopTrace() *Trace {
 	t := c.traceRec
-	c.traceRec = nil
+	if t != nil {
+		c.traceRec = nil
+		c.observer = nil
+	}
 	return t
 }
 

@@ -13,6 +13,7 @@ import (
 	"streamsched/internal/buffer"
 	"streamsched/internal/cachesim"
 	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
 )
 
 // Errors reported by firing operations. Schedulers use these to distinguish
@@ -41,6 +42,11 @@ type Config struct {
 	// from the first ceil((i+1)·ratio) source items, where ratio is the
 	// steady-state source-items-per-sink-item rate.
 	TrackLatency bool
+	// Recorder, when non-nil, receives every block-level access the run
+	// issues, in order — the input of the one-pass miss-curve engine
+	// (internal/trace). Recording is independent of the cache's own
+	// statistics and survives SetCache only for the original cache.
+	Recorder trace.Recorder
 }
 
 // Machine is an executable instance of an SDF graph. It is not safe for
@@ -90,6 +96,9 @@ func NewMachine(g *sdf.Graph, cfg Config) (*Machine, error) {
 		fired:  make([]int64, g.NumNodes()),
 		values: cfg.Values,
 		maxOut: cfg.CollectOutputs,
+	}
+	if cfg.Recorder != nil {
+		cache.SetObserver(cfg.Recorder.RecordBlock)
 	}
 	var arena cachesim.Arena
 	blk := cfg.Cache.Block

@@ -6,6 +6,7 @@ import (
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
 )
 
 var testCache = cachesim.Config{Capacity: 1 << 14, Block: 16}
@@ -311,5 +312,30 @@ func TestFireTimesErrorContext(t *testing.T) {
 	}
 	if m.Fired(sdf.NodeID(0)) != 2 {
 		t.Errorf("fired = %d, want 2", m.Fired(sdf.NodeID(0)))
+	}
+}
+
+func TestRecorderSeesEveryBlockAccess(t *testing.T) {
+	g := buildChain(t, 0, 64, 64, 0)
+	rec := trace.NewLog()
+	m, err := NewMachine(g, Config{Cache: testCache, Caps: unitCaps(g, 8), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			id := sdf.NodeID(v)
+			if m.CanFire(id) {
+				if err := m.Fire(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no accesses")
+	}
+	if got, want := rec.Len(), m.Cache().Stats().Accesses; got != want {
+		t.Fatalf("recorder saw %d accesses, cache counted %d", got, want)
 	}
 }

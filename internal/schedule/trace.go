@@ -1,0 +1,140 @@
+package schedule
+
+import (
+	"fmt"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/exec"
+	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
+)
+
+// curveSpillBytes bounds the in-memory encoded trace during MeasureCurve;
+// longer traces spill to a temporary file.
+const curveSpillBytes = 1 << 30
+
+// CurveResult is the miss-curve analogue of Result: one recorded run of a
+// schedule, profiled into the exact fully-associative LRU miss count for
+// every cache capacity at once. Where Measure answers "how many misses at
+// this one cache size", MeasureCurve answers it for the whole M axis from
+// a single execution.
+type CurveResult struct {
+	Scheduler   string
+	Graph       string
+	SourceFired int64 // source firings during the measured window
+	InputItems  int64 // items produced by the source during the window
+	SinkItems   int64
+	// Curve maps cache capacity to exact LRU misses for the measured
+	// window; Curve.MissesAtCapacity(C, B) equals Measure's Stats.Misses
+	// with cachesim.Config{Capacity: C, Block: B}.
+	Curve       *trace.MissCurve
+	BufferWords int64 // total buffer capacity the plan allocated
+	TraceLen    int64 // block accesses recorded (warmup + window)
+	MeanLatency float64
+	MaxLatency  int64
+}
+
+// MissesPerItem evaluates the curve at one cache capacity in words,
+// normalised by window input items.
+func (r *CurveResult) MissesPerItem(capacity, block int64) float64 {
+	return r.Curve.MissesPerItem(capacity, block, r.InputItems)
+}
+
+// MeasureCurve plans g with s, executes warm source firings, then records
+// the block-access trace of the next (measured) source firings and
+// reuse-distance profiles it. The schedule is planned once against env;
+// the returned curve evaluates that fixed schedule under every cache
+// capacity simultaneously, exactly matching what Measure would report at
+// each capacity (schedulers never consult the simulated cache's state, so
+// the access stream is capacity-independent).
+func MeasureCurve(g *sdf.Graph, s Scheduler, env Env, block int64, warm, measured int64) (*CurveResult, error) {
+	if measured <= 0 {
+		return nil, fmt.Errorf("schedule: measured window must be positive, got %d", measured)
+	}
+	if block <= 0 {
+		return nil, fmt.Errorf("schedule: block size must be positive, got %d", block)
+	}
+	plan, err := s.Prepare(g, env)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: prepare %s: %w", s.Name(), err)
+	}
+	log := trace.NewLog()
+	log.SetSpillThreshold(curveSpillBytes)
+	defer log.Close()
+	// The machine needs a cache to charge accesses to, but the recording is
+	// capacity-independent, so pick the cheapest one to simulate: a cache
+	// that holds the whole layout, where every access after the first is a
+	// plain hit.
+	m, err := exec.NewMachine(g, exec.Config{
+		Cache:        cachesim.Config{Capacity: layoutWords(g, plan, block), Block: block},
+		Caps:         plan.Caps,
+		TrackLatency: g.Source() != g.Sink(),
+		Recorder:     log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("schedule: machine for %s: %w", s.Name(), err)
+	}
+	if warm > 0 {
+		if err := plan.Runner.Run(m, warm); err != nil {
+			return nil, fmt.Errorf("schedule: warmup %s: %w", s.Name(), err)
+		}
+	}
+	log.MarkWindow()
+	m.ResetLatency()
+	fired0, items0 := m.SourceFirings(), m.InputItems()
+	sink0 := m.SinkItems()
+	if err := plan.Runner.Run(m, fired0+measured); err != nil {
+		return nil, fmt.Errorf("schedule: run %s: %w", s.Name(), err)
+	}
+	if err := m.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("schedule: %s broke conservation: %w", s.Name(), err)
+	}
+	curve, err := trace.Profile(log)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: profile %s: %w", s.Name(), err)
+	}
+	res := &CurveResult{
+		Scheduler:   s.Name(),
+		Graph:       g.Name(),
+		SourceFired: m.SourceFirings() - fired0,
+		InputItems:  m.InputItems() - items0,
+		SinkItems:   m.SinkItems() - sink0,
+		Curve:       curve,
+		TraceLen:    log.Len(),
+	}
+	res.MeanLatency, res.MaxLatency = m.Latency()
+	for _, c := range plan.Caps {
+		res.BufferWords += c
+	}
+	return res, nil
+}
+
+// layoutWords over-approximates the machine's arena size in words, rounded
+// up to whole blocks: every module state and channel buffer block-aligned.
+func layoutWords(g *sdf.Graph, plan *Plan, block int64) int64 {
+	roundUp := func(w int64) int64 { return (w + block - 1) / block * block }
+	total := block // at least one line
+	for v := 0; v < g.NumNodes(); v++ {
+		total += roundUp(g.Node(sdf.NodeID(v)).State)
+	}
+	for _, c := range plan.Caps {
+		total += roundUp(c)
+	}
+	return total
+}
+
+// SweepCurves records and profiles one curve per scheduler on a bounded
+// goroutine pool (workers <= 0 means GOMAXPROCS). Outcomes are returned in
+// scheduler order; failed schedulers carry their error and a nil value.
+func SweepCurves(g *sdf.Graph, scheds []Scheduler, env Env, block, warm, measured int64, workers int) []trace.Outcome[*CurveResult] {
+	jobs := make([]trace.Job[*CurveResult], len(scheds))
+	for i, s := range scheds {
+		jobs[i] = trace.Job[*CurveResult]{
+			Name: s.Name(),
+			Run: func() (*CurveResult, error) {
+				return MeasureCurve(g, s, env, block, warm, measured)
+			},
+		}
+	}
+	return trace.Sweep(jobs, workers)
+}

@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/sdf"
+)
+
+// schedulersForGraph returns every scheduler the cross-validation should
+// cover for a graph of this shape.
+func schedulersForGraph(g *sdf.Graph) []Scheduler {
+	scheds := []Scheduler{FlatTopo{}, Scaled{S: 4}, DemandDriven{}, KohliGreedy{}}
+	switch {
+	case g.IsPipeline():
+		scheds = append(scheds, PartitionedPipeline{})
+	case g.IsHomogeneous():
+		scheds = append(scheds, PartitionedHomogeneous{})
+	default:
+		scheds = append(scheds, PartitionedBatch{})
+	}
+	return scheds
+}
+
+// TestMeasureCurveMatchesMeasure is the property test for the miss-curve
+// engine: on random graphs, for every scheduler, the reuse-distance curve
+// of one recorded run must equal the cache simulator's LRU miss count at
+// every sampled capacity — same plan, same warm/measured window.
+func TestMeasureCurveMatchesMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func(i int) (*sdf.Graph, error) {
+		switch i % 3 {
+		case 0:
+			return randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+				Nodes: 5 + rng.Intn(6), StateMin: 8, StateMax: 96, RateMax: 3,
+			})
+		case 1:
+			return randgraph.RandomLayeredDag(rng, randgraph.LayeredSpec{
+				Layers: 2 + rng.Intn(2), Width: 2 + rng.Intn(2),
+				StateMin: 8, StateMax: 96, ExtraEdges: 1,
+			})
+		default:
+			return randgraph.RandomSplitJoin(rng, randgraph.SplitJoinSpec{
+				Branches: 2 + rng.Intn(2), BranchDepth: 1 + rng.Intn(3),
+				StateMin: 8, StateMax: 96, RateMax: 2,
+			})
+		}
+	}
+	trials := 9
+	if testing.Short() {
+		trials = 3
+	}
+	for i := 0; i < trials; i++ {
+		g, err := build(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := Env{M: int64(128 << rng.Intn(3)), B: int64(8 << rng.Intn(2))}
+		warm := int64(rng.Intn(200))
+		measured := int64(200 + rng.Intn(400))
+		for _, s := range schedulersForGraph(g) {
+			cr, err := MeasureCurve(g, s, env, env.B, warm, measured)
+			if err != nil {
+				t.Fatalf("trial %d %s on %s: MeasureCurve: %v", i, s.Name(), g.Name(), err)
+			}
+			// Sample capacities around interesting scales: tiny, the
+			// design size, the saturation knee, and beyond.
+			satWords := cr.Curve.SaturationLines() * env.B
+			caps := []int64{env.B, env.M / 2, env.M, 2 * env.M, satWords + env.B}
+			for _, capWords := range caps {
+				if capWords < env.B {
+					continue
+				}
+				capWords -= capWords % env.B
+				mr, err := Measure(g, s, env, cachesim.Config{Capacity: capWords, Block: env.B}, warm, measured)
+				if err != nil {
+					t.Fatalf("trial %d %s: Measure at %d: %v", i, s.Name(), capWords, err)
+				}
+				if got, want := cr.Curve.MissesAtCapacity(capWords, env.B), mr.Stats.Misses; got != want {
+					t.Errorf("trial %d: %s on %s (M=%d B=%d warm=%d meas=%d) capacity %d: curve says %d misses, cachesim says %d",
+						i, s.Name(), g.Name(), env.M, env.B, warm, measured, capWords, got, want)
+				}
+				if cr.InputItems != mr.InputItems {
+					t.Errorf("trial %d: %s window mismatch: curve items %d, measure items %d",
+						i, s.Name(), cr.InputItems, mr.InputItems)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureCurveWindowAccounting checks the windowed run bookkeeping
+// against Measure on a fixed pipeline.
+func TestMeasureCurveWindowAccounting(t *testing.T) {
+	b := sdf.NewBuilder("acct")
+	var ids []sdf.NodeID
+	for i := 0; i < 6; i++ {
+		st := int64(64)
+		if i == 0 || i == 5 {
+			st = 0
+		}
+		ids = append(ids, b.AddNode(fmt.Sprintf("m%d", i), st))
+	}
+	b.Chain(ids...)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{M: 128, B: 16}
+	cr, err := MeasureCurve(g, FlatTopo{}, env, env.B, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := Measure(g, FlatTopo{}, env, cachesim.Config{Capacity: 256, Block: 16}, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.SourceFired != mr.SourceFired || cr.InputItems != mr.InputItems || cr.SinkItems != mr.SinkItems {
+		t.Fatalf("window bookkeeping diverged: curve (%d,%d,%d) vs measure (%d,%d,%d)",
+			cr.SourceFired, cr.InputItems, cr.SinkItems, mr.SourceFired, mr.InputItems, mr.SinkItems)
+	}
+	if cr.BufferWords != mr.BufferWords {
+		t.Fatalf("buffer words: curve %d, measure %d", cr.BufferWords, mr.BufferWords)
+	}
+	if cr.Curve.Accesses != mr.Stats.Accesses {
+		t.Fatalf("window accesses: curve %d, cachesim %d", cr.Curve.Accesses, mr.Stats.Accesses)
+	}
+	// MeasureCurve(..., 0 warm) must count the whole trace.
+	cr0, err := MeasureCurve(g, FlatTopo{}, env, env.B, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr0.Curve.Accesses != cr0.TraceLen {
+		t.Fatalf("unwarmed curve counted %d of %d accesses", cr0.Curve.Accesses, cr0.TraceLen)
+	}
+}
+
+// TestSweepCurves exercises the pooled sweep over all schedulers.
+func TestSweepCurves(t *testing.T) {
+	b := sdf.NewBuilder("sweep")
+	var ids []sdf.NodeID
+	for i := 0; i < 8; i++ {
+		st := int64(48)
+		if i == 0 || i == 7 {
+			st = 0
+		}
+		ids = append(ids, b.AddNode(fmt.Sprintf("m%d", i), st))
+	}
+	b.Chain(ids...)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{M: 128, B: 16}
+	scheds := schedulersForGraph(g)
+	out := SweepCurves(g, scheds, env, env.B, 64, 256, 3)
+	if len(out) != len(scheds) {
+		t.Fatalf("sweep returned %d outcomes for %d schedulers", len(out), len(scheds))
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("scheduler %s: %v", scheds[i].Name(), o.Err)
+		}
+		if o.Name != scheds[i].Name() {
+			t.Fatalf("outcome %d name %q, want %q", i, o.Name, scheds[i].Name())
+		}
+		if o.Value.Curve.Accesses == 0 {
+			t.Fatalf("scheduler %s recorded an empty window", o.Name)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// logChunkSize is the target size of one encoded chunk. Chunks are sealed
+// when they reach this size; sealed chunks are what spilling moves to disk.
+const logChunkSize = 64 << 10
+
+// Log is a compact append-only trace of block accesses. Successive block
+// ids are zigzag-delta encoded as varints (streaming access patterns are
+// dominated by small strides, so most accesses cost one or two bytes) and
+// accumulated in fixed-size chunks. When a spill threshold is set and the
+// in-memory encoding exceeds it, sealed chunks are appended to an unlinked
+// temporary file so arbitrarily long traces hold only O(1) memory.
+//
+// A Log records a single logical run. MarkWindow splits it into a warmup
+// prefix and a measured window, mirroring schedule.Measure's
+// warm-then-reset-stats protocol: profiling replays the whole trace (the
+// warmup populates the LRU stack) but only window accesses are counted.
+//
+// The zero value is ready to use and never spills. Log is not safe for
+// concurrent use.
+type Log struct {
+	chunks [][]byte // sealed, still-in-memory chunks, in order
+	cur    []byte   // open chunk being appended to
+	prev   int64    // previous block id (delta base)
+	n      int64    // total recorded accesses
+	window int64    // index of the first measured access (0: whole trace)
+
+	spillAt  int64 // seal-bytes threshold that triggers spilling; 0: never
+	memBytes int64 // bytes held in sealed in-memory chunks
+	spill    *os.File
+	spillW   *bufio.Writer
+	spilled  int64 // bytes written to the spill file
+	dropped  bool  // Close released spilled data; the log is unreadable
+	err      error // first spill I/O error, reported by ForEach/Close
+
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewLog returns an empty in-memory trace log.
+func NewLog() *Log { return &Log{} }
+
+// SetSpillThreshold makes the log spill sealed chunks to a temporary file
+// once more than limit bytes of encoded trace are held in memory. A limit
+// of 0 disables spilling. Must be called before recording starts.
+func (l *Log) SetSpillThreshold(limit int64) {
+	l.spillAt = limit
+}
+
+// RecordBlock implements Recorder: it appends one block access.
+func (l *Log) RecordBlock(blk int64) {
+	delta := blk - l.prev
+	l.prev = blk
+	m := binary.PutVarint(l.scratch[:], delta)
+	if l.cur == nil {
+		l.cur = make([]byte, 0, logChunkSize)
+	}
+	l.cur = append(l.cur, l.scratch[:m]...)
+	l.n++
+	if len(l.cur) >= logChunkSize {
+		l.seal()
+	}
+}
+
+// seal closes the open chunk and spills if over the threshold.
+func (l *Log) seal() {
+	if len(l.cur) == 0 {
+		return
+	}
+	if l.err != nil {
+		// Spilling already failed: the trace is unusable (ForEach reports
+		// the latched error), so drop data rather than grow without bound
+		// for the remainder of a long recording.
+		l.cur = l.cur[:0]
+		return
+	}
+	l.chunks = append(l.chunks, l.cur)
+	l.memBytes += int64(len(l.cur))
+	l.cur = nil
+	if l.spillAt > 0 && l.memBytes > l.spillAt {
+		l.spillChunks()
+	}
+}
+
+// spillChunks appends every sealed in-memory chunk to the spill file.
+func (l *Log) spillChunks() {
+	if l.err != nil {
+		return
+	}
+	if l.spill == nil {
+		f, err := os.CreateTemp("", "streamsched-trace-*")
+		if err != nil {
+			l.err = fmt.Errorf("trace: create spill file: %w", err)
+			return
+		}
+		// Unlink immediately; the file lives until Close drops the handle.
+		os.Remove(f.Name())
+		l.spill = f
+		l.spillW = bufio.NewWriterSize(f, 1<<20)
+	}
+	for _, c := range l.chunks {
+		if _, err := l.spillW.Write(c); err != nil {
+			l.err = fmt.Errorf("trace: spill write: %w", err)
+			return
+		}
+		l.spilled += int64(len(c))
+	}
+	l.chunks = l.chunks[:0]
+	l.memBytes = 0
+}
+
+// MarkWindow marks the current position as the start of the measured
+// window: accesses recorded before this call warm the stack but are not
+// counted by Profile.
+func (l *Log) MarkWindow() { l.window = l.n }
+
+// Len returns the number of recorded accesses.
+func (l *Log) Len() int64 { return l.n }
+
+// WindowStart returns the index of the first measured access.
+func (l *Log) WindowStart() int64 { return l.window }
+
+// EncodedBytes returns the total encoded size of the trace so far.
+func (l *Log) EncodedBytes() int64 {
+	return l.spilled + l.memBytes + int64(len(l.cur))
+}
+
+// Spilled reports whether any part of the trace lives on disk.
+func (l *Log) Spilled() bool { return l.spilled > 0 }
+
+// Err returns the first spill I/O error, if any. Once an error is latched
+// the log stops retaining new accesses and ForEach refuses to replay;
+// long-running recorders can poll Err to abort early.
+func (l *Log) Err() error { return l.err }
+
+// ForEach replays every recorded access in order. It may be called
+// repeatedly; the log remains appendable afterwards.
+func (l *Log) ForEach(fn func(blk int64)) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.dropped {
+		return fmt.Errorf("trace: log closed after spilling; spilled data released")
+	}
+	dec := logDecoder{fn: fn}
+	if l.spill != nil {
+		// Any failure here is latched into l.err: the spill file's offset
+		// or contents can no longer be trusted, so later appends must not
+		// silently overwrite spilled data and later replays must refuse.
+		if err := l.spillW.Flush(); err != nil {
+			l.err = fmt.Errorf("trace: spill flush: %w", err)
+			return l.err
+		}
+		if _, err := l.spill.Seek(0, io.SeekStart); err != nil {
+			l.err = fmt.Errorf("trace: spill seek: %w", err)
+			return l.err
+		}
+		r := bufio.NewReaderSize(io.LimitReader(l.spill, l.spilled), 1<<20)
+		readErr := dec.readAll(r)
+		// Restore the write offset before anything else: subsequent spill
+		// writes must continue where the data ends.
+		if _, err := l.spill.Seek(l.spilled, io.SeekStart); err != nil {
+			l.err = fmt.Errorf("trace: spill reseek: %w", err)
+			return l.err
+		}
+		if readErr != nil {
+			l.err = fmt.Errorf("trace: spill decode: %w", readErr)
+			return l.err
+		}
+	}
+	for _, c := range l.chunks {
+		dec.feed(c)
+	}
+	dec.feed(l.cur)
+	return dec.err
+}
+
+// Close releases the spill file, if any. A log that never spilled stays
+// readable; one that did cannot be replayed afterwards (the in-memory tail
+// is delta-encoded against the released prefix), so ForEach reports an
+// error instead of returning wrong data.
+func (l *Log) Close() error {
+	if l.spill == nil {
+		return l.err
+	}
+	err := l.spill.Close()
+	l.spill, l.spillW = nil, nil
+	if l.spilled > 0 {
+		l.dropped = true
+	}
+	l.spilled = 0
+	if l.err == nil && err != nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// logDecoder streams varint deltas back into block ids. Varints never span
+// chunk boundaries (each RecordBlock appends a whole varint to one chunk),
+// but they may span bufio reads, so readAll uses ReadByte semantics.
+type logDecoder struct {
+	fn   func(int64)
+	prev int64
+	err  error
+}
+
+func (d *logDecoder) feed(buf []byte) {
+	if d.err != nil {
+		return
+	}
+	for len(buf) > 0 {
+		delta, m := binary.Varint(buf)
+		if m <= 0 {
+			d.err = fmt.Errorf("trace: corrupt varint in chunk")
+			return
+		}
+		buf = buf[m:]
+		d.prev += delta
+		d.fn(d.prev)
+	}
+}
+
+func (d *logDecoder) readAll(r io.ByteReader) error {
+	for {
+		delta, err := binary.ReadVarint(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		d.prev += delta
+		d.fn(d.prev)
+	}
+}

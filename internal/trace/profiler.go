@@ -1,0 +1,152 @@
+package trace
+
+// Profiler implements Mattson's stack algorithm for reuse-distance
+// (LRU stack distance) profiling. Feed it the block-access stream in
+// order; it maintains the LRU stack implicitly — a per-block last-access
+// slot plus an order-statistics timeline over those slots — and
+// histograms the stack depth of every access. An access at depth d hits
+// in every fully-associative LRU cache of at least d lines, so the
+// histogram determines the exact miss count for all capacities at once.
+//
+// Each access costs O(log n) timeline work; memory is proportional to the
+// number of distinct blocks, not the trace length. Block ids from the
+// execution machine's arena are small and dense, so the block -> slot
+// index is a flat slice (with a map fallback for sparse or negative ids).
+//
+// Profiler itself is also a Recorder, so short traces can be profiled
+// on-line without materialising a Log.
+type Profiler struct {
+	tl      *timeline
+	dense   []int32         // block -> live slot, 0 = unseen (dense ids)
+	sparse  map[int64]int32 // fallback for huge or negative block ids
+	relabel func(int64, int32)
+
+	distinct int64
+
+	hist []int64 // hist[d]: counted accesses at stack depth d (1-based)
+	cold int64   // counted first-ever accesses (infinite distance)
+}
+
+// denseLimit caps the flat block index at 16M entries (64 MiB); blocks
+// beyond it fall back to the map.
+const denseLimit = 1 << 24
+
+// NewProfiler returns a profiler that counts every access it is fed.
+// Use ResetCounts after a warmup prefix to profile only a window.
+func NewProfiler() *Profiler {
+	p := &Profiler{
+		tl:    newTimeline(),
+		dense: make([]int32, 4096),
+	}
+	p.relabel = p.store
+	return p
+}
+
+// RecordBlock implements Recorder.
+func (p *Profiler) RecordBlock(blk int64) { p.Touch(blk) }
+
+// Touch processes one block access.
+func (p *Profiler) Touch(blk int64) {
+	slot := p.lookup(blk)
+	if slot != 0 {
+		// Depth = blocks accessed since this one (they sit above it in the
+		// LRU stack) plus one for the block itself.
+		d := p.tl.CountAfter(slot) + 1
+		if int64(len(p.hist)) <= d {
+			grown := make([]int64, 2*d+2)
+			copy(grown, p.hist)
+			p.hist = grown
+		}
+		p.hist[d]++
+		p.tl.Remove(slot)
+	} else {
+		p.cold++
+		p.distinct++
+	}
+	p.store(blk, p.tl.Append(blk, p.relabel))
+}
+
+func (p *Profiler) lookup(blk int64) int32 {
+	if blk >= 0 && blk < int64(len(p.dense)) {
+		return p.dense[blk]
+	}
+	if blk >= 0 && blk < denseLimit {
+		return 0 // dense range, slice not grown yet: unseen
+	}
+	return p.sparse[blk]
+}
+
+func (p *Profiler) store(blk int64, slot int32) {
+	if blk >= 0 && blk < denseLimit {
+		for int64(len(p.dense)) <= blk {
+			grow := int64(len(p.dense))
+			if int64(len(p.dense))+grow > denseLimit {
+				grow = denseLimit - int64(len(p.dense))
+			}
+			p.dense = append(p.dense, make([]int32, grow)...)
+		}
+		p.dense[blk] = slot
+		return
+	}
+	if p.sparse == nil {
+		p.sparse = make(map[int64]int32, 64)
+	}
+	p.sparse[blk] = slot
+}
+
+// ResetCounts zeroes the histogram while keeping the stack state, exactly
+// like resetting the cache simulator's statistics after warmup: subsequent
+// distances still see the warm stack, but only post-reset accesses count.
+func (p *Profiler) ResetCounts() {
+	for i := range p.hist {
+		p.hist[i] = 0
+	}
+	p.cold = 0
+}
+
+// Distinct returns the number of distinct blocks seen so far.
+func (p *Profiler) Distinct() int64 { return p.distinct }
+
+// Curve freezes the current histogram into a MissCurve.
+func (p *Profiler) Curve() *MissCurve {
+	maxd := len(p.hist) - 1
+	for maxd > 0 && p.hist[maxd] == 0 {
+		maxd--
+	}
+	if maxd < 0 {
+		maxd = 0 // no reuse observed: the curve is all cold misses
+	}
+	// suffix[i] = counted accesses at finite depth >= i.
+	suffix := make([]int64, maxd+2)
+	for d := maxd; d >= 1; d-- {
+		suffix[d] = suffix[d+1] + p.hist[d]
+	}
+	return &MissCurve{
+		Accesses: suffix[1] + p.cold,
+		Cold:     p.cold,
+		suffix:   suffix,
+	}
+}
+
+// Profile replays a recorded log through a fresh Profiler, honouring the
+// log's measured window (accesses before WindowStart warm the stack but
+// are not counted), and returns the resulting miss curve.
+func Profile(l *Log) (*MissCurve, error) {
+	p := NewProfiler()
+	start := l.WindowStart()
+	var i int64
+	err := l.ForEach(func(blk int64) {
+		if i == start {
+			p.ResetCounts()
+		}
+		i++
+		p.Touch(blk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if start >= i {
+		p.ResetCounts() // empty window: nothing after the mark is measured
+	}
+	return p.Curve(), nil
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refLRUMisses simulates a fully-associative LRU cache of the given line
+// count over the trace, counting misses only for accesses at index >=
+// window, with the cache warm from the prefix.
+func refLRUMisses(blocks []int64, lines int64, window int) int64 {
+	if lines <= 0 {
+		n := int64(len(blocks) - window)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	type nodeT struct {
+		blk        int64
+		prev, next *nodeT
+	}
+	var head, tail *nodeT
+	pos := make(map[int64]*nodeT)
+	unlink := func(n *nodeT) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushFront := func(n *nodeT) {
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	var misses int64
+	for i, blk := range blocks {
+		if n, ok := pos[blk]; ok {
+			unlink(n)
+			pushFront(n)
+			continue
+		}
+		if i >= window {
+			misses++
+		}
+		if int64(len(pos)) == lines {
+			victim := tail
+			unlink(victim)
+			delete(pos, victim.blk)
+		}
+		n := &nodeT{blk: blk}
+		pos[blk] = n
+		pushFront(n)
+	}
+	return misses
+}
+
+func TestProfilerMatchesLRUSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 200 + rng.Intn(800)
+		universe := 1 + rng.Intn(60)
+		blocks := make([]int64, n)
+		for i := range blocks {
+			// Mix of sequential sweeps and random touches, like real
+			// schedules alternate streaming buffers and state reloads.
+			if rng.Intn(2) == 0 {
+				blocks[i] = int64(i % universe)
+			} else {
+				blocks[i] = int64(rng.Intn(universe))
+			}
+		}
+		p := NewProfiler()
+		for _, b := range blocks {
+			p.Touch(b)
+		}
+		curve := p.Curve()
+		if curve.Accesses != int64(n) {
+			t.Fatalf("trial %d: curve accesses %d, want %d", trial, curve.Accesses, n)
+		}
+		for _, lines := range []int64{0, 1, 2, 3, 5, 8, 13, 21, 34, int64(universe), int64(universe) + 7} {
+			want := refLRUMisses(blocks, lines, 0)
+			if got := curve.Misses(lines); got != want {
+				t.Fatalf("trial %d: lines=%d misses=%d, want %d", trial, lines, got, want)
+			}
+		}
+		if got := curve.Misses(curve.SaturationLines()); got != curve.Cold {
+			t.Fatalf("trial %d: misses at saturation %d = %d, want cold %d",
+				trial, curve.SaturationLines(), got, curve.Cold)
+		}
+	}
+}
+
+func TestProfilerWindowMatchesWarmLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 400 + rng.Intn(400)
+		window := rng.Intn(n / 2)
+		universe := 1 + rng.Intn(40)
+		blocks := make([]int64, n)
+		for i := range blocks {
+			blocks[i] = int64(rng.Intn(universe))
+		}
+		p := NewProfiler()
+		for i, b := range blocks {
+			if i == window {
+				p.ResetCounts()
+			}
+			p.Touch(b)
+		}
+		curve := p.Curve()
+		if curve.Accesses != int64(n-window) {
+			t.Fatalf("trial %d: window accesses %d, want %d", trial, curve.Accesses, n-window)
+		}
+		for _, lines := range []int64{1, 2, 4, 8, 16, int64(universe)} {
+			want := refLRUMisses(blocks, lines, window)
+			if got := curve.Misses(lines); got != want {
+				t.Fatalf("trial %d: lines=%d window misses=%d, want %d", trial, lines, got, want)
+			}
+		}
+	}
+}
+
+func TestProfilerKnownSequence(t *testing.T) {
+	// Sequence a b c a b c: second round has stack distance 3 each.
+	p := NewProfiler()
+	for _, b := range []int64{1, 2, 3, 1, 2, 3} {
+		p.Touch(b)
+	}
+	c := p.Curve()
+	if c.Cold != 3 {
+		t.Fatalf("cold = %d, want 3", c.Cold)
+	}
+	if got := c.Misses(3); got != 3 {
+		t.Fatalf("misses at 3 lines = %d, want 3 (hits on reuse)", got)
+	}
+	if got := c.Misses(2); got != 6 {
+		t.Fatalf("misses at 2 lines = %d, want 6 (thrash)", got)
+	}
+	if got := c.Hits(3); got != 3 {
+		t.Fatalf("hits at 3 lines = %d, want 3", got)
+	}
+	if c.SaturationLines() != 3 {
+		t.Fatalf("saturation = %d, want 3", c.SaturationLines())
+	}
+}
+
+func TestTimelineOrderStatistics(t *testing.T) {
+	tl := newTimeline()
+	noRelabel := func(int64, int32) { t.Fatal("unexpected compaction") }
+	slots := make([]int32, 101)
+	for k := int64(1); k <= 100; k++ {
+		slots[k] = tl.Append(k, noRelabel)
+	}
+	if got := tl.CountAfter(slots[50]); got != 50 {
+		t.Fatalf("CountAfter(slot 50) = %d, want 50", got)
+	}
+	for k := int64(2); k <= 100; k += 2 {
+		tl.Remove(slots[k])
+	}
+	if tl.Len() != 50 {
+		t.Fatalf("len = %d, want 50", tl.Len())
+	}
+	if got := tl.CountAfter(slots[50]); got != 25 {
+		t.Fatalf("after removes CountAfter(slot 50) = %d, want 25", got)
+	}
+	if got := tl.CountAfter(0); got != 50 {
+		t.Fatalf("after removes CountAfter(0) = %d, want 50", got)
+	}
+}
+
+// TestTimelineCompaction drives the slot space past its capacity so live
+// slots get renumbered, and checks order statistics survive intact.
+func TestTimelineCompaction(t *testing.T) {
+	tl := newTimeline()
+	initialCap := len(tl.bit) - 1
+	last := map[int64]int32{}
+	relabel := func(blk int64, slot int32) { last[blk] = slot }
+	compactions := 0
+	const universe = 64
+	// Reaccess a small working set far more times than the initial slot
+	// capacity: each reaccess burns a slot, forcing several compactions.
+	for i := 0; i < 10*initialCap; i++ {
+		blk := int64(i % universe)
+		capBefore := len(tl.bit)
+		if s, ok := last[blk]; ok {
+			tl.Remove(s)
+		}
+		last[blk] = tl.Append(blk, relabel)
+		if len(tl.bit) != capBefore {
+			compactions++
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("compaction never triggered")
+	}
+	if tl.Len() != universe {
+		t.Fatalf("live = %d, want %d", tl.Len(), universe)
+	}
+	// After the loop, recency order is blk (i-63) ... (i-0) for the last 64
+	// accesses; CountAfter of the k-th most recent block must be k-1.
+	total := 10 * initialCap
+	for k := 1; k <= universe; k++ {
+		blk := int64((total - k) % universe)
+		if got := tl.CountAfter(last[blk]); got != int64(k-1) {
+			t.Fatalf("depth of %d-th most recent = %d, want %d", k, got+1, k)
+		}
+	}
+}
+
+func TestCurveWithNoReuse(t *testing.T) {
+	// All-distinct trace: the histogram is empty and the curve is pure
+	// cold misses at every capacity (regression: this used to panic).
+	p := NewProfiler()
+	for b := int64(0); b < 10; b++ {
+		p.Touch(b)
+	}
+	c := p.Curve()
+	if c.Accesses != 10 || c.Cold != 10 {
+		t.Fatalf("accesses=%d cold=%d, want 10,10", c.Accesses, c.Cold)
+	}
+	for _, lines := range []int64{0, 1, 5, 100} {
+		if got := c.Misses(lines); got != 10 {
+			t.Fatalf("misses at %d lines = %d, want 10", lines, got)
+		}
+	}
+	if c.SaturationLines() != 0 {
+		t.Fatalf("saturation = %d, want 0", c.SaturationLines())
+	}
+	// Empty profiler: zero-valued curve, no panic.
+	e := NewProfiler().Curve()
+	if e.Accesses != 0 || e.Misses(4) != 0 {
+		t.Fatalf("empty curve: accesses=%d misses=%d", e.Accesses, e.Misses(4))
+	}
+}

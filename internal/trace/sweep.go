@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of sweep work: typically "record and profile one
+// (scheduler, workload) pair". Run executes on a pool goroutine.
+type Job[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// Outcome pairs a job's name with its result or error.
+type Outcome[T any] struct {
+	Name  string
+	Value T
+	Err   error
+}
+
+// Sweep runs the jobs on a bounded goroutine pool (workers <= 0 means
+// GOMAXPROCS) and returns the outcomes in job order. Every job runs even
+// if earlier jobs fail; callers decide how to combine errors.
+func Sweep[T any](jobs []Job[T], workers int) []Outcome[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Outcome[T], len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := jobs[i].Run()
+				out[i] = Outcome[T]{Name: jobs[i].Name, Value: v, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepRunsAllJobsInOrder(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[int], 37)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job%d", i),
+			Run: func() (int, error) {
+				ran.Add(1)
+				return i * i, nil
+			},
+		}
+	}
+	out := Sweep(jobs, 4)
+	if ran.Load() != int64(len(jobs)) {
+		t.Fatalf("ran %d jobs, want %d", ran.Load(), len(jobs))
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Name != jobs[i].Name || o.Value != i*i {
+			t.Fatalf("outcome %d = (%s,%d), want (%s,%d)", i, o.Name, o.Value, jobs[i].Name, i*i)
+		}
+	}
+}
+
+func TestSweepSurvivesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job[string]{
+		{Name: "ok", Run: func() (string, error) { return "fine", nil }},
+		{Name: "bad", Run: func() (string, error) { return "", boom }},
+		{Name: "ok2", Run: func() (string, error) { return "also fine", nil }},
+	}
+	out := Sweep(jobs, 0) // default worker count
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("healthy jobs errored: %v %v", out[0].Err, out[2].Err)
+	}
+	if !errors.Is(out[1].Err, boom) {
+		t.Fatalf("job 1 error = %v, want boom", out[1].Err)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if out := Sweep[int](nil, 8); len(out) != 0 {
+		t.Fatalf("empty sweep returned %d outcomes", len(out))
+	}
+}

@@ -1,0 +1,41 @@
+// Package trace is the one-pass miss-curve engine: it captures block-access
+// traces from the execution machine and computes, in a single pass, the
+// exact fully-associative LRU miss count for every cache capacity at once.
+//
+// The paper's central experiments sweep the cache size M and plot misses
+// per item for each scheduler. Simulating each (scheduler, M) point
+// separately costs one full run per point; Mattson's stack algorithm
+// (reuse-distance profiling) replaces the whole sweep with one recorded
+// trace and one O(n log n) profiling pass, because an access to a block at
+// LRU stack depth d hits in every cache of at least d lines and misses in
+// every smaller one. The resulting MissCurve answers "how many misses at
+// capacity M?" for all M simultaneously and exactly matches the cachesim
+// LRU simulator (see the cross-validation tests).
+//
+// The pieces:
+//
+//   - Recorder is the event sink the execution machine emits block
+//     accesses into; Log is the standard implementation, a compact
+//     delta-varint append-only encoding that can spill to disk.
+//   - Profiler implements Mattson's algorithm with an implicit
+//     order-statistics (Fenwick) tree over last-access slots: O(log n)
+//     per access, memory proportional to the number of distinct blocks.
+//   - MissCurve is the profile result: misses as a function of capacity.
+//   - Sweep runs a pool of profiling jobs (schedulers x workloads) on a
+//     bounded number of goroutines.
+package trace
+
+// Recorder receives one event per block-level cache access, in execution
+// order. The execution machine (internal/exec) forwards every block touch
+// of a run into a Recorder; implementations must be cheap because they sit
+// on the simulator's innermost loop.
+type Recorder interface {
+	// RecordBlock notes one access to the given block id.
+	RecordBlock(blk int64)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(blk int64)
+
+// RecordBlock implements Recorder.
+func (f RecorderFunc) RecordBlock(blk int64) { f(blk) }

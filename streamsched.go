@@ -1,6 +1,7 @@
 package streamsched
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -11,6 +12,7 @@ import (
 	"streamsched/internal/ratio"
 	"streamsched/internal/schedule"
 	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
 )
 
 // Core model types, re-exported for downstream users.
@@ -40,6 +42,11 @@ type (
 	Result = schedule.Result
 	// Bound is a computed lower-bound quantity.
 	Bound = lowerbound.Bound
+	// MissCurve is a reuse-distance profile: exact fully-associative LRU
+	// misses for every cache capacity at once, from one recorded run.
+	MissCurve = trace.MissCurve
+	// CurveResult is a measured run profiled into a MissCurve.
+	CurveResult = schedule.CurveResult
 	// ParallelConfig describes a simulated multiprocessor run.
 	ParallelConfig = parallel.Config
 	// ParallelResult summarises a simulated multiprocessor run.
@@ -122,6 +129,40 @@ func ScaledScheduler(s int64) Scheduler { return schedule.Scaled{S: s} }
 // measures the next measured source firings and reports misses per item.
 func Simulate(g *Graph, s Scheduler, env Env, cache CacheConfig, warm, measured int64) (*Result, error) {
 	return schedule.Measure(g, s, env, cache, warm, measured)
+}
+
+// SimulateCurve plans g with s, warms with warm source firings, records
+// the block-access trace of the next measured firings, and reuse-distance
+// profiles it (Mattson's one-pass algorithm). The result answers "misses
+// at capacity M" exactly, for every M simultaneously, replacing one full
+// Simulate call per swept cache size with a single recorded run:
+//
+//	cr, _ := streamsched.SimulateCurve(g, s, env, env.B, 1000, 10000)
+//	for _, m := range []int64{1 << 10, 1 << 12, 1 << 14} {
+//		fmt.Println(m, cr.MissesPerItem(m, env.B))
+//	}
+//
+// The schedule is planned once against env and held fixed across the
+// curve; SimulateCurve agrees exactly with Simulate at every capacity.
+func SimulateCurve(g *Graph, s Scheduler, env Env, block, warm, measured int64) (*CurveResult, error) {
+	return schedule.MeasureCurve(g, s, env, block, warm, measured)
+}
+
+// SweepCurves records and profiles one miss curve per scheduler on a
+// bounded goroutine pool (workers <= 0 means GOMAXPROCS). Results are in
+// scheduler order; if any scheduler fails, its slot is nil and the joined
+// error reports every failure.
+func SweepCurves(g *Graph, scheds []Scheduler, env Env, block, warm, measured int64, workers int) ([]*CurveResult, error) {
+	out := schedule.SweepCurves(g, scheds, env, block, warm, measured, workers)
+	results := make([]*CurveResult, len(out))
+	var errs []error
+	for i, o := range out {
+		results[i] = o.Value
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", o.Name, o.Err))
+		}
+	}
+	return results, errors.Join(errs...)
 }
 
 // LowerBound computes the paper's lower bound on misses per source firing

@@ -3,6 +3,7 @@ package streamsched_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"streamsched"
 	"streamsched/workloads"
@@ -196,5 +197,111 @@ func TestLowerBoundDagPaths(t *testing.T) {
 	}
 	if hb.Exact {
 		t.Error("large dag should get heuristic bound")
+	}
+}
+
+// TestMissCurveMatchesSimulateAcrossWorkloads is the tentpole acceptance
+// check: for every workload in the suite and every scheduler in Baselines()
+// plus the AutoScheduler, one recorded trace's miss curve must agree
+// exactly with the cache simulator's LRU miss count at several sampled
+// capacities.
+func TestMissCurveMatchesSimulateAcrossWorkloads(t *testing.T) {
+	env := streamsched.Env{M: 512, B: 16}
+	graphs, err := workloads.Suite(env.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, measured := int64(128), int64(512)
+	for _, g := range graphs {
+		scheds := append(streamsched.Baselines(), streamsched.AutoScheduler(g))
+		for _, s := range scheds {
+			cr, err := streamsched.SimulateCurve(g, s, env, env.B, warm, measured)
+			if err != nil {
+				t.Fatalf("%s/%s: SimulateCurve: %v", g.Name(), s.Name(), err)
+			}
+			for _, capWords := range []int64{env.M / 2, env.M, 2 * env.M, 8 * env.M} {
+				res, err := streamsched.Simulate(g, s, env, streamsched.CacheConfig{
+					Capacity: capWords, Block: env.B,
+				}, warm, measured)
+				if err != nil {
+					t.Fatalf("%s/%s: Simulate at %d: %v", g.Name(), s.Name(), capWords, err)
+				}
+				if got, want := cr.Curve.MissesAtCapacity(capWords, env.B), res.Stats.Misses; got != want {
+					t.Errorf("%s/%s at capacity %d: curve %d misses, cachesim %d",
+						g.Name(), s.Name(), capWords, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepCurvesAcrossSchedulers runs the pooled sweep through the public
+// API and checks the partitioned scheduler beats the flat baseline once
+// the graph no longer fits in cache.
+func TestSweepCurvesAcrossSchedulers(t *testing.T) {
+	g := buildPipeline(t, 24, 128)
+	env := streamsched.Env{M: 512, B: 16}
+	scheds := append(streamsched.Baselines(), streamsched.AutoScheduler(g))
+	results, err := streamsched.SweepCurves(g, scheds, env, env.B, 256, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, part := results[0], results[len(results)-1]
+	if flat.Curve.Accesses == 0 || part.Curve.Accesses == 0 {
+		t.Fatal("empty curves from sweep")
+	}
+	// At cache = M (graph state 22*128 >> M) the partitioned schedule
+	// should miss less per item than the flat baseline.
+	if fp, pp := flat.MissesPerItem(env.M, env.B), part.MissesPerItem(env.M, env.B); pp >= fp {
+		t.Errorf("partitioned %.3f misses/item not better than flat %.3f at M=%d", pp, fp, env.M)
+	}
+}
+
+// TestMissCurveSweepFasterThanSimulates makes the engine's reason for
+// existing executable: a 5-point M-sweep through one recorded trace must
+// beat 5 independent Simulate calls.
+func TestMissCurveSweepFasterThanSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	g := buildPipeline(t, 34, 128)
+	env := streamsched.Env{M: 512, B: 16}
+	s := streamsched.AutoScheduler(g)
+	caps := []int64{256, 512, 1024, 2048, 4096}
+	warm, meas := int64(256), int64(2048)
+
+	// Compare the best of 3 attempts on each side: noise on a loaded CI
+	// runner only ever inflates a measurement, so the minima approximate
+	// the true costs and a single scheduling hiccup cannot flip the result.
+	best := func(run func()) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			start := time.Now()
+			run()
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	simTime := best(func() {
+		for _, c := range caps {
+			if _, err := streamsched.Simulate(g, s, env, streamsched.CacheConfig{Capacity: c, Block: env.B}, warm, meas); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	curveTime := best(func() {
+		cr, err := streamsched.SimulateCurve(g, s, env, env.B, warm, meas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range caps {
+			_ = cr.Curve.MissesAtCapacity(c, env.B)
+		}
+	})
+	t.Logf("5-point sweep (best of 3): %v via Simulate, %v via miss curve", simTime, curveTime)
+	if curveTime >= simTime {
+		t.Errorf("miss-curve sweep (%v) not faster than 5 Simulate calls (%v)", curveTime, simTime)
 	}
 }
