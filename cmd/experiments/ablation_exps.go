@@ -2,10 +2,12 @@ package main
 
 import (
 	"fmt"
+	"time"
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/report"
 	"streamsched/internal/schedule"
+	"streamsched/internal/trace"
 )
 
 func init() {
@@ -51,14 +53,20 @@ func runE10(cfg runConfig) error {
 		}
 		tb.Add(report.I(s), report.I(res.BufferWords), report.F(res.MissesPerItem))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE12 re-runs the E1-style comparison under different cache
-// organisations. Expected shape: absolute numbers move slightly but the
-// scheduler ordering (partitioned < scaled < flat) is preserved — the
-// paper's conclusions do not depend on the idealised fully-associative
-// LRU.
+// organisations — set-associative placement (direct-mapped through fully
+// associative) and FIFO replacement — now from ONE recorded trace per
+// scheduler: per-set Mattson stacks answer every set-associative LRU
+// point and multiplexed per-set replicas answer every FIFO point, where
+// the pointwise version paid one full simulation per (scheduler,
+// organisation, M) cell. Every cell is cross-validated against the cache
+// simulator (exact, not approximate) and the wall-clock win is reported.
+// Expected shape: absolute numbers move slightly but the scheduler
+// ordering (partitioned < scaled < flat) is preserved — the paper's
+// conclusions do not depend on the idealised fully-associative LRU.
 func runE12(cfg runConfig) error {
 	m := int64(512)
 	n, state := 34, int64(128)
@@ -71,37 +79,112 @@ func runE12(cfg runConfig) error {
 		return err
 	}
 	env := schedule.Env{M: m, B: 16}
-	configs := []struct {
-		name string
-		cfg  cachesim.Config
-	}{
-		{"LRU full-assoc", cachesim.Config{Capacity: 2 * m, Block: 16}},
-		{"FIFO full-assoc", cachesim.Config{Capacity: 2 * m, Block: 16, Policy: cachesim.FIFO}},
-		{"LRU 8-way", cachesim.Config{Capacity: 2 * m, Block: 16, Ways: 8}},
-		{"LRU 4-way", cachesim.Config{Capacity: 2 * m, Block: 16, Ways: 4}},
+	scheds := []schedule.Scheduler{
+		schedule.FlatTopo{}, schedule.Scaled{S: 4}, schedule.PartitionedPipeline{},
+	}
+	caps := []int64{128, 256, 512, 1024, 2048, 4096} // the E1 M axis: 8..256 lines at B=16
+	waysList := []int64{0, 8, 4, 1}                  // fully-assoc, 8-way, 4-way, direct
+	policies := []cachesim.Policy{cachesim.LRU, cachesim.FIFO}
+
+	// Group the (capacity, ways) grid by set count: one OrgSpec per
+	// distinct shard count, each carrying the FIFO way counts its
+	// geometries need.
+	specs, specIdx, err := trace.GridSpecs(caps, env.B, waysList, true)
+	if err != nil {
+		return err
+	}
+
+	// One recorded trace per scheduler answers the whole grid. workers=1
+	// keeps the wall-clock comparison sequential vs sequential.
+	start := time.Now()
+	outcomes := schedule.SweepCurveOrgs(g, scheds, env, env.B, warm, meas, specs, 1)
+	curveTime := time.Since(start)
+	results := make([]*schedule.CurveResult, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Name, o.Err)
+		}
+		results = append(results, o.Value)
+	}
+	curveMisses := func(r *schedule.CurveResult, c, w int64, pol cachesim.Policy) int64 {
+		sets, _ := trace.SetsFor(c, env.B, w)
+		misses, _ := r.Orgs[specIdx[sets]].Misses(trace.EffectiveWays(c, env.B, w), pol == cachesim.FIFO)
+		return misses
+	}
+	missesPerItem := func(r *schedule.CurveResult, c, w int64, pol cachesim.Policy) float64 {
+		return float64(curveMisses(r, c, w, pol)) / float64(r.InputItems)
+	}
+
+	orgName := func(w int64, pol cachesim.Policy) string {
+		switch w {
+		case 0:
+			return fmt.Sprintf("%s full-assoc", pol)
+		case 1:
+			return fmt.Sprintf("%s direct", pol)
+		default:
+			return fmt.Sprintf("%s %d-way", pol, w)
+		}
 	}
 	tb := report.NewTable(
-		fmt.Sprintf("E12: cache organisation ablation (pipeline n=%d, state=%d, M=%d, cache=2M)", n, state, m),
-		"cache", "flat-topo", "scaled(s=4)", "partitioned", "ordering preserved")
-	for _, c := range configs {
-		flat, err := schedule.Measure(g, schedule.FlatTopo{}, env, c.cfg, warm, meas)
-		if err != nil {
-			return err
+		fmt.Sprintf("E12: cache organisation ablation from one trace/scheduler (pipeline n=%d, state=%d, designed at M=%d, B=16)", n, state, m),
+		"cache", "M", "flat-topo", "scaled(s=4)", "partitioned", "ordering preserved")
+	for _, w := range waysList {
+		for _, pol := range policies {
+			for _, c := range caps {
+				flat := missesPerItem(results[0], c, w, pol)
+				scaled := missesPerItem(results[1], c, w, pol)
+				part := missesPerItem(results[2], c, w, pol)
+				ok := "yes"
+				if !(part < scaled && scaled < flat) {
+					ok = "no"
+				}
+				tb.Add(orgName(w, pol), report.I(c), report.F(flat), report.F(scaled),
+					report.F(part), ok)
+			}
 		}
-		scaled, err := schedule.Measure(g, schedule.Scaled{S: 4}, env, c.cfg, warm, meas)
-		if err != nil {
-			return err
-		}
-		part, err := schedule.Measure(g, schedule.PartitionedPipeline{}, env, c.cfg, warm, meas)
-		if err != nil {
-			return err
-		}
-		ok := "yes"
-		if !(part.MissesPerItem < scaled.MissesPerItem && scaled.MissesPerItem < flat.MissesPerItem) {
-			ok = "no"
-		}
-		tb.Add(c.name, report.F(flat.MissesPerItem), report.F(scaled.MissesPerItem),
-			report.F(part.MissesPerItem), ok)
 	}
-	return tb.Render(stdout)
+	if err := tb.Render(cfg.out); err != nil {
+		return err
+	}
+
+	// Cross-validate every cell against the simulator and time the naive
+	// pointwise equivalent of the whole grid.
+	start = time.Now()
+	points, mismatches := 0, 0
+	for si, s := range scheds {
+		for _, w := range waysList {
+			for _, pol := range policies {
+				for _, c := range caps {
+					simCfg := cachesim.Config{Capacity: c, Block: env.B, Ways: int(w), Policy: pol}
+					res, err := schedule.Measure(g, s, env, simCfg, warm, meas)
+					if err != nil {
+						return err
+					}
+					points++
+					got := res.Stats.Misses
+					curve := curveMisses(results[si], c, w, pol)
+					if curve != got {
+						mismatches++
+						fmt.Fprintf(cfg.out, "MISMATCH: %s %s M=%d: simulate %d, curve %d\n",
+							s.Name(), orgName(w, pol), c, got, curve)
+					}
+				}
+			}
+		}
+	}
+	simTime := time.Since(start)
+	status := "exact match at every point"
+	if mismatches > 0 {
+		status = fmt.Sprintf("%d MISMATCHED points (see above)", mismatches)
+	}
+	fmt.Fprintf(cfg.out, "cross-validation vs cachesim (%d scheduler x %d organisation x %d M points): %s\n",
+		len(scheds), len(waysList)*len(policies), len(caps), status)
+	fmt.Fprintf(cfg.out, "wall clock (both sequential): %v for %d traces vs %v for %d pointwise simulations (%.1fx)\n",
+		curveTime.Round(time.Millisecond), len(scheds),
+		simTime.Round(time.Millisecond), points,
+		float64(simTime)/float64(curveTime))
+	if mismatches > 0 {
+		return fmt.Errorf("E12: %d cross-validation mismatches", mismatches)
+	}
+	return nil
 }

@@ -59,7 +59,7 @@ func runE6(cfg runConfig) error {
 			report.F(part.MissesPerItem),
 			report.Ratio(flat.MissesPerItem, part.MissesPerItem))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE7 examines the inhomogeneous batch scheduler: how the batch size T
@@ -108,7 +108,7 @@ func runE7(cfg runConfig) error {
 				report.Ratio(flat.MissesPerItem, batch.MissesPerItem))
 		}
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE11 violates Lemma 8's degree-limit condition: a splitter component
@@ -153,5 +153,5 @@ func runE11(cfg runConfig) error {
 		tb.Add(report.I(int64(fanout)), report.I(int64(maxDeg)), limited,
 			report.F(res.MissesPerItem), report.F(res.MissesPerItem/float64(fanout)))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }

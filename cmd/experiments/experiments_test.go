@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,14 +16,11 @@ func TestEveryExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiments skipped in -short mode")
 	}
-	old := stdout
-	defer func() { stdout = old }()
-	cfg := runConfig{full: false, seed: 1}
 	for _, e := range registry {
 		e := e
 		t.Run(e.id, func(t *testing.T) {
 			var buf bytes.Buffer
-			stdout = &buf
+			cfg := runConfig{full: false, seed: 1, out: &buf}
 			if err := e.run(cfg); err != nil {
 				t.Fatalf("%s: %v", e.id, err)
 			}
@@ -68,4 +66,81 @@ func TestExperimentOrder(t *testing.T) {
 	if experimentOrder("E15") != 15 {
 		t.Errorf("order(E15) = %d", experimentOrder("E15"))
 	}
+}
+
+// withFakeExperiments temporarily replaces the registry so harness tests
+// don't run (and don't depend on) the real experiments.
+func withFakeExperiments(t *testing.T, exps []experiment, fn func()) {
+	t.Helper()
+	old := registry
+	registry = exps
+	defer func() { registry = old }()
+	fn()
+}
+
+var errBoom = errors.New("boom")
+
+func fakeExperiment(id string, fail bool) experiment {
+	return experiment{id: id, title: "fake " + id, run: func(cfg runConfig) error {
+		fmt.Fprintf(cfg.out, "%s: body\n", id)
+		if fail {
+			return errBoom
+		}
+		return nil
+	}}
+}
+
+// TestSelectExperiments pins the -run semantics: empty and "all" select
+// the whole registry (the historical bug: "-run all" matched nothing and
+// the process exited 0 having run zero experiments), ids are
+// case-insensitive, and unknown ids are an error rather than silently
+// running nothing.
+func TestSelectExperiments(t *testing.T) {
+	withFakeExperiments(t, []experiment{
+		fakeExperiment("E1", false), fakeExperiment("E2", false),
+	}, func() {
+		for _, runList := range []string{"", "all", "ALL", " all "} {
+			got, err := selectExperiments(runList)
+			if err != nil || len(got) != 2 {
+				t.Errorf("selectExperiments(%q) = %d exps, %v; want 2", runList, len(got), err)
+			}
+		}
+		got, err := selectExperiments("e2")
+		if err != nil || len(got) != 1 || got[0].id != "E2" {
+			t.Errorf("selectExperiments(e2) = %v, %v", got, err)
+		}
+		if _, err := selectExperiments("E1,E99"); err == nil {
+			t.Error("unknown experiment id accepted")
+		}
+	})
+}
+
+// TestRunExperimentsPropagatesFailure is the regression test for the
+// exit-code bug: a failing experiment must be counted (main exits
+// non-zero), in both sequential and parallel modes, and its error must
+// appear in the harness output.
+func TestRunExperimentsPropagatesFailure(t *testing.T) {
+	exps := []experiment{
+		fakeExperiment("E1", false),
+		fakeExperiment("E2", true),
+		fakeExperiment("E3", false),
+	}
+	withFakeExperiments(t, exps, func() {
+		for _, jobs := range []int{1, 3} {
+			var buf bytes.Buffer
+			failed := runExperiments(registry, runConfig{seed: 1}, jobs, &buf)
+			if failed != 1 {
+				t.Errorf("jobs=%d: failed = %d, want 1", jobs, failed)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "E2 failed: boom") {
+				t.Errorf("jobs=%d: output missing failure report:\n%s", jobs, out)
+			}
+			// Output must appear in registry order even when parallel.
+			i1, i2, i3 := strings.Index(out, "=== E1"), strings.Index(out, "=== E2"), strings.Index(out, "=== E3")
+			if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+				t.Errorf("jobs=%d: output out of order (%d, %d, %d):\n%s", jobs, i1, i2, i3, out)
+			}
+		}
+	})
 }

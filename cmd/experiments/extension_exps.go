@@ -66,7 +66,7 @@ func runE15(cfg runConfig) error {
 		opt := float64(cachesim.SimulateOPT(trace, cacheCfg.Capacity/cacheCfg.Block).Misses) / items
 		tb.Add(s.Name(), report.F(lru), report.F(opt), report.Ratio(lru, opt))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE16 attributes misses to the paper's two controllable sources (§1):
@@ -113,7 +113,7 @@ func runE16(cfg runConfig) error {
 				report.F(res.MissesPerItem))
 		}
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE18 measures item latency (in source items) against misses/item for
@@ -149,7 +149,7 @@ func runE18(cfg runConfig) error {
 		tb.Add(s.Name(), report.F(res.MissesPerItem),
 			report.F1(res.MeanLatency), report.I(res.MaxLatency))
 	}
-	if err := tb.Render(stdout); err != nil {
+	if err := tb.Render(cfg.out); err != nil {
 		return err
 	}
 	// Latency scales with M for the partitioned schedule.
@@ -165,7 +165,7 @@ func runE18(cfg runConfig) error {
 		tb2.Add(report.I(mm), report.F(res.MissesPerItem),
 			report.F1(res.MeanLatency), report.I(res.MaxLatency))
 	}
-	return tb2.Render(stdout)
+	return tb2.Render(cfg.out)
 }
 
 // runE17 sweeps the batch scheduler's T target on the MP3 decoder: buffer
@@ -205,5 +205,5 @@ func runE17(cfg runConfig) error {
 		tb.Add(report.I(tTarget), report.I(res.BufferWords), report.F(peak),
 			report.F(res.MissesPerItem))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }

@@ -2,8 +2,6 @@ package main
 
 import (
 	"fmt"
-	"io"
-	"os"
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/schedule"
@@ -57,9 +55,6 @@ func missesPerFiring(r *schedule.Result) float64 {
 	}
 	return float64(r.Stats.Misses) / float64(r.SourceFired)
 }
-
-// stdout is the shared output stream (a seam for tests).
-var stdout io.Writer = os.Stdout
 
 // baselineSchedulers are the comparison points used across experiments.
 func baselineSchedulers() []schedule.Scheduler {

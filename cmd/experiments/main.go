@@ -5,19 +5,28 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E4] [-full] [-seed N]
+//	experiments [-run E1,E4] [-jobs N] [-full] [-seed N]
 //
 // By default every experiment runs with moderate ("quick") parameters;
-// -full enlarges graphs and measurement windows.
+// -full enlarges graphs and measurement windows. -jobs N runs up to N
+// experiments concurrently on a goroutine pool (each with buffered
+// output, printed in registry order), parallelising the full harness on
+// top of the per-experiment parallelism the sweep-based experiments
+// already have. The process exits non-zero if any selected experiment
+// fails, and refuses unknown experiment ids.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
+
+	"streamsched/internal/trace"
 )
 
 // experiment is a registered, reproducible experiment.
@@ -30,6 +39,7 @@ type experiment struct {
 type runConfig struct {
 	full bool
 	seed int64
+	out  io.Writer // per-experiment output stream
 }
 
 var registry []experiment
@@ -39,44 +49,115 @@ func register(id, title string, run func(runConfig) error) {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	runList := flag.String("run", "", "comma-separated experiment ids, or \"all\" (default: all)")
+	jobs := flag.Int("jobs", 1, "experiments to run concurrently (<=1: sequential, streaming output)")
 	full := flag.Bool("full", false, "use full-size parameters (slower)")
 	seed := flag.Int64("seed", 1, "seed for randomized workloads")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
-	sort.Slice(registry, func(i, j int) bool {
-		return experimentOrder(registry[i].id) < experimentOrder(registry[j].id)
-	})
+	sortRegistry()
 	if *list {
 		for _, e := range registry {
 			fmt.Printf("%-4s %s\n", e.id, e.title)
 		}
 		return
 	}
-	want := map[string]bool{}
-	if *runList != "" {
-		for _, id := range strings.Split(*runList, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
+	selected, err := selectExperiments(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	cfg := runConfig{full: *full, seed: *seed}
-	failed := 0
-	for _, e := range registry {
-		if len(want) > 0 && !want[e.id] {
-			continue
-		}
-		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
-		start := time.Now()
-		if err := e.run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
-			failed++
-		}
-		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
-	}
-	if failed > 0 {
+	if failed := runExperiments(selected, cfg, *jobs, os.Stdout); failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+func sortRegistry() {
+	sort.Slice(registry, func(i, j int) bool {
+		return experimentOrder(registry[i].id) < experimentOrder(registry[j].id)
+	})
+}
+
+// selectExperiments resolves the -run flag against the registry: empty or
+// "all" selects everything, anything else must name registered ids.
+func selectExperiments(runList string) ([]experiment, error) {
+	runList = strings.TrimSpace(runList)
+	if runList == "" || strings.EqualFold(runList, "all") {
+		return registry, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(runList, ",") {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		if id == "" {
+			continue
+		}
+		want[id] = false
+	}
+	var out []experiment
+	for _, e := range registry {
+		if _, ok := want[e.id]; ok {
+			want[e.id] = true
+			out = append(out, e)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (use -list)", id)
+		}
+	}
+	return out, nil
+}
+
+// runExperiments executes the selected experiments and returns how many
+// failed. With jobs <= 1 each experiment streams straight to out; with
+// more, experiments run concurrently on a bounded pool, each into its own
+// buffer, and the buffers are printed in selection order once all are
+// done. Failures are reported inline (after the experiment's output) so
+// buffered and streaming modes read the same.
+func runExperiments(exps []experiment, cfg runConfig, jobs int, out io.Writer) int {
+	runOne := func(e experiment, w io.Writer) error {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.id, e.title)
+		start := time.Now()
+		ecfg := cfg
+		ecfg.out = w
+		err := e.run(ecfg)
+		if err != nil {
+			fmt.Fprintf(w, "%s failed: %v\n", e.id, err)
+		}
+		fmt.Fprintf(w, "(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		return err
+	}
+	if jobs <= 1 {
+		failed := 0
+		for _, e := range exps {
+			if runOne(e, out) != nil {
+				failed++
+			}
+		}
+		return failed
+	}
+	sweepJobs := make([]trace.Job[string], len(exps))
+	for i, e := range exps {
+		sweepJobs[i] = trace.Job[string]{
+			Name: e.id,
+			Run: func() (string, error) {
+				var buf bytes.Buffer
+				err := runOne(e, &buf)
+				return buf.String(), err
+			},
+		}
+	}
+	failed := 0
+	for _, o := range trace.Sweep(sweepJobs, jobs) {
+		io.WriteString(out, o.Value)
+		if o.Err != nil {
+			failed++
+		}
+	}
+	return failed
 }
 
 // experimentOrder sorts E2 before E10.

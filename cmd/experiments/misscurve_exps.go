@@ -66,7 +66,7 @@ func runE19(cfg runConfig) error {
 		}
 		tb.Add(row...)
 	}
-	if err := tb.Render(stdout); err != nil {
+	if err := tb.Render(cfg.out); err != nil {
 		return err
 	}
 
@@ -82,7 +82,7 @@ func runE19(cfg runConfig) error {
 			}
 			if res.Stats.Misses != results[si].Curve.MissesAtCapacity(c, env.B) {
 				exact = false
-				fmt.Fprintf(stdout, "MISMATCH: %s at capacity %d: simulate %d, curve %d\n",
+				fmt.Fprintf(cfg.out, "MISMATCH: %s at capacity %d: simulate %d, curve %d\n",
 					s.Name(), c, res.Stats.Misses, results[si].Curve.MissesAtCapacity(c, env.B))
 			}
 		}
@@ -92,14 +92,14 @@ func runE19(cfg runConfig) error {
 	if !exact {
 		status = "MISMATCHED (see above)"
 	}
-	fmt.Fprintf(stdout, "cross-validation vs cachesim (%d scheduler x %d capacity points): %s\n",
+	fmt.Fprintf(cfg.out, "cross-validation vs cachesim (%d scheduler x %d capacity points): %s\n",
 		len(scheds), len(caps), status)
-	fmt.Fprintf(stdout, "wall clock (both sequential): %v for %d curves vs %v for %d simulations (%.1fx)\n",
+	fmt.Fprintf(cfg.out, "wall clock (both sequential): %v for %d curves vs %v for %d simulations (%.1fx)\n",
 		curveTime.Round(time.Millisecond), len(scheds),
 		simTime.Round(time.Millisecond), len(scheds)*len(caps),
 		float64(simTime)/float64(curveTime))
 	for _, r := range results {
-		fmt.Fprintf(stdout, "%s: trace %d accesses (%d in window), working set %d blocks\n",
+		fmt.Fprintf(cfg.out, "%s: trace %d accesses (%d in window), working set %d blocks\n",
 			r.Scheduler, r.TraceLen, r.Curve.Accesses, r.Curve.SaturationLines())
 	}
 	return nil

@@ -67,5 +67,5 @@ func runE13(cfg runConfig) error {
 			report.Ratio(float64(res.TotalMisses), float64(base.TotalMisses)),
 			balance)
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }

@@ -77,7 +77,7 @@ func runE3(cfg runConfig) error {
 		row = append(row, report.I(int64(winner.K)))
 		tb.Add(row...)
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE9 measures heuristic quality against the exact order-ideal DP on
@@ -168,7 +168,7 @@ func runE9(cfg runConfig) error {
 			report.F(st.sumAgg/float64(st.n)), report.F(st.maxAgg),
 			fmt.Sprintf("%d/%d", st.ties, st.n))
 	}
-	if err := tb.Render(stdout); err != nil {
+	if err := tb.Render(cfg.out); err != nil {
 		return err
 	}
 	// Corollary 9 spot check: schedule one dag with the exact partition and
@@ -192,7 +192,7 @@ func runE9(cfg runConfig) error {
 		return err
 	}
 	a := alpha(single.BandwidthScaled(g), exact.BandwidthScaled(g))
-	fmt.Fprintf(stdout,
+	fmt.Fprintf(cfg.out,
 		"Corollary 9 spot check (fan8): alpha(singleton/exact)=%.2f, cost ratio=%.2f (misses/item %.3f vs %.3f)\n",
 		a, resSingle.MissesPerItem/resExact.MissesPerItem,
 		resSingle.MissesPerItem, resExact.MissesPerItem)

@@ -8,6 +8,7 @@ import (
 	"streamsched/internal/partition"
 	"streamsched/internal/report"
 	"streamsched/internal/schedule"
+	"streamsched/internal/trace"
 )
 
 func init() {
@@ -20,7 +21,11 @@ func init() {
 
 // runE1 sweeps M for a fixed oversized pipeline. Expected shape: baselines
 // pay ~totalState/B per item until the whole graph fits; the partitioned
-// schedule stays near bandwidth(P)/B throughout.
+// schedule stays near bandwidth(P)/B throughout. The sweep replans at
+// every M (the schedule is designed for the cache it runs against), so it
+// cannot collapse into one trace the way E12/E19 do; instead the whole
+// (M, scheduler) grid runs as independent jobs on the goroutine-pooled
+// trace.Sweep path.
 func runE1(cfg runConfig) error {
 	n, state := 34, int64(128)
 	warm, meas := int64(512), int64(2048)
@@ -31,24 +36,37 @@ func runE1(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	ms := []int64{128, 256, 512, 1024, 2048, 4096}
+	scheds := append(baselineSchedulers(), schedule.PartitionedPipeline{})
+	jobs := make([]trace.Job[*schedule.Result], 0, len(ms)*len(scheds))
+	for _, m := range ms {
+		for _, s := range scheds {
+			env := schedule.Env{M: m, B: 16}
+			jobs = append(jobs, trace.Job[*schedule.Result]{
+				Name: fmt.Sprintf("M=%d %s", m, s.Name()),
+				Run: func() (*schedule.Result, error) {
+					return measure(g, s, env, 2*m, warm, meas)
+				},
+			})
+		}
+	}
+	outcomes := trace.Sweep(jobs, 0)
 	tb := report.NewTable(
 		fmt.Sprintf("E1: misses/item vs M (pipeline n=%d, state=%d/module, total=%d, B=16, cache=2M)",
 			n, state, g.TotalState()),
 		"M", "flat-topo", "scaled(s=4)", "demand-driven", "kohli-greedy", "partitioned")
-	for _, m := range []int64{128, 256, 512, 1024, 2048, 4096} {
-		env := schedule.Env{M: m, B: 16}
+	for mi, m := range ms {
 		row := []string{report.I(m)}
-		scheds := append(baselineSchedulers(), schedule.PartitionedPipeline{})
-		for _, s := range scheds {
-			res, err := measure(g, s, env, 2*m, warm, meas)
-			if err != nil {
-				return fmt.Errorf("M=%d %s: %w", m, s.Name(), err)
+		for si := range scheds {
+			o := outcomes[mi*len(scheds)+si]
+			if o.Err != nil {
+				return fmt.Errorf("%s: %w", o.Name, o.Err)
 			}
-			row = append(row, report.F(res.MissesPerItem))
+			row = append(row, report.F(o.Value.MissesPerItem))
 		}
 		tb.Add(row...)
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE2 sweeps pipeline length at fixed M. Expected shape: baseline
@@ -84,7 +102,7 @@ func runE2(cfg runConfig) error {
 			report.F(flat.MissesPerItem), report.F(part.MissesPerItem),
 			report.Ratio(flat.MissesPerItem, part.MissesPerItem))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE4 reports the Theorem 3 / Theorem 5 sandwich: every scheduler's
@@ -148,7 +166,7 @@ func runE4(cfg runConfig) error {
 		row = append(row, report.Ratio(missesPerFiring(part), upper))
 		tb.Add(row...)
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE5 sweeps the augmentation factor: the partitioned scheduler designed
@@ -180,7 +198,7 @@ func runE5(cfg runConfig) error {
 		tb.Add(fmt.Sprintf("%dM", c), report.F(res.MissesPerItem),
 			report.Ratio(flat.MissesPerItem, res.MissesPerItem))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }
 
 // runE8 sweeps block size B: the partitioned schedule's misses/item should
@@ -213,5 +231,5 @@ func runE8(cfg runConfig) error {
 			report.F(part.MissesPerItem), report.F(part.MissesPerItem*float64(b)),
 			report.F(flat.MissesPerItem), report.F(flat.MissesPerItem*float64(b)))
 	}
-	return tb.Render(stdout)
+	return tb.Render(cfg.out)
 }

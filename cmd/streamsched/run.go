@@ -22,8 +22,8 @@ import (
 var errUsage = errors.New(`usage:
   streamsched info <graph.json>
   streamsched partition -M <words> [-algo auto|theorem5|dp|interval|agglomerative|exact] [-dot <out.dot>] <graph.json>
-  streamsched simulate -M <words> -B <words> [-cache <words>] [-sched <name>] [-warm N] [-measure N] <graph.json>
-  streamsched misscurve -M <words> -B <words> [-sched <name>|all] [-caps c1,c2,...] [-csv] <graph.json>
+  streamsched simulate -M <words> -B <words> [-cache <words>] [-ways N] [-policy lru|fifo] [-sched <name>] [-warm N] [-measure N] <graph.json>
+  streamsched misscurve -M <words> -B <words> [-sched <name>|all] [-caps c1,c2,...] [-ways w1,w2,full] [-policy lru|fifo|both] [-csv] <graph.json>
   streamsched bound -M <words> -B <words> <graph.json>
   streamsched buffers -M <words> [-sched <name>] [-probe N] <graph.json>
   streamsched compile -M <words> [-sched <name>] [-o <file>] <graph.json>
@@ -184,6 +184,8 @@ func cmdSimulate(args []string, out io.Writer) error {
 	m := fs.Int64("M", 0, "design cache size in words")
 	b := fs.Int64("B", 16, "block size in words")
 	cache := fs.Int64("cache", 0, "simulated cache capacity (default 2M)")
+	ways := fs.Int("ways", 0, "set associativity (0: fully associative)")
+	policy := fs.String("policy", "lru", "replacement policy: lru or fifo")
 	sched := fs.String("sched", "partitioned", "scheduler")
 	warm := fs.Int64("warm", 1024, "warmup source firings")
 	meas := fs.Int64("measure", 4096, "measured source firings")
@@ -201,18 +203,32 @@ func cmdSimulate(args []string, out io.Writer) error {
 	if *cache == 0 {
 		*cache = 2 * *m
 	}
+	var pol cachesim.Policy
+	switch strings.ToLower(*policy) {
+	case "lru":
+		pol = cachesim.LRU
+	case "fifo":
+		pol = cachesim.FIFO
+	default:
+		return fmt.Errorf("simulate: bad -policy %q (want lru or fifo)\n%w", *policy, errUsage)
+	}
 	s, err := schedulerBy(*sched, g, *scale)
 	if err != nil {
 		return err
 	}
 	env := schedule.Env{M: *m, B: *b}
-	res, err := schedule.Measure(g, s, env, cachesim.Config{Capacity: *cache, Block: *b}, *warm, *meas)
+	cacheCfg := cachesim.Config{Capacity: *cache, Block: *b, Ways: *ways, Policy: pol}
+	res, err := schedule.Measure(g, s, env, cacheCfg, *warm, *meas)
 	if err != nil {
 		return err
 	}
+	org := "fully-associative"
+	if *ways > 0 {
+		org = fmt.Sprintf("%d-way", *ways)
+	}
 	fmt.Fprintf(out, "graph:        %s\n", res.Graph)
 	fmt.Fprintf(out, "scheduler:    %s\n", res.Scheduler)
-	fmt.Fprintf(out, "cache:        %d words, block %d (designed for M=%d)\n", *cache, *b, *m)
+	fmt.Fprintf(out, "cache:        %d words, block %d, %s %s (designed for M=%d)\n", *cache, *b, org, pol, *m)
 	fmt.Fprintf(out, "window:       %d source firings, %d input items\n", res.SourceFired, res.InputItems)
 	fmt.Fprintf(out, "misses:       %d (%.4f per input item)\n", res.Stats.Misses, res.MissesPerItem)
 	fmt.Fprintf(out, "accesses:     %d block accesses, %d hits\n", res.Stats.Accesses, res.Stats.Hits)

@@ -280,3 +280,60 @@ func TestMissCurveCommand(t *testing.T) {
 		t.Error("capacity below block size accepted")
 	}
 }
+
+func TestMissCurveOrganisations(t *testing.T) {
+	path := writeGraph(t, "fmradio", 64)
+	var sb strings.Builder
+	err := run([]string{"misscurve", "-M", "256", "-B", "16", "-sched", "flat",
+		"-caps", "256,1k", "-ways", "1,4,full", "-policy", "both",
+		"-warm", "64", "-measure", "256", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// One table per (policy, ways) combination.
+	for _, want := range []string{
+		"LRU direct-mapped", "FIFO direct-mapped",
+		"LRU 4-way", "FIFO 4-way",
+		"LRU fully-associative", "FIFO fully-associative",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("misscurve org output missing %q:\n%s", want, out)
+		}
+	}
+	// CSV mode folds the organisation tables into one table with an
+	// organisation column, so rows stay attributable.
+	sb.Reset()
+	err = run([]string{"misscurve", "-M", "256", "-B", "16", "-sched", "flat",
+		"-caps", "256,1k", "-ways", "1,4", "-policy", "both",
+		"-warm", "64", "-measure", "256", "-csv", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(csvLines) != 9 { // header + 2 ways x 2 policies x 2 caps
+		t.Fatalf("org csv lines = %d, want 9:\n%s", len(csvLines), sb.String())
+	}
+	if !strings.HasPrefix(csvLines[0], "organisation,capacity,") {
+		t.Errorf("org csv header missing organisation column: %s", csvLines[0])
+	}
+	for _, want := range []string{"LRU direct-mapped,256", "FIFO 4-way,1024"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("org csv missing row %q:\n%s", want, sb.String())
+		}
+	}
+	// Organisation sweeps need an explicit capacity grid.
+	if err := run([]string{"misscurve", "-M", "256", "-ways", "4", path}, &sb); err == nil {
+		t.Error("org sweep without -caps accepted")
+	}
+	// 24 lines / 5 ways is not a valid geometry.
+	if err := run([]string{"misscurve", "-M", "256", "-caps", "384", "-ways", "5", path}, &sb); err == nil {
+		t.Error("non-divisible ways accepted")
+	}
+	if err := run([]string{"misscurve", "-M", "256", "-caps", "256", "-ways", "nope", path}, &sb); err == nil {
+		t.Error("bad -ways accepted")
+	}
+	if err := run([]string{"misscurve", "-M", "256", "-caps", "256", "-policy", "mru", path}, &sb); err == nil {
+		t.Error("bad -policy accepted")
+	}
+}

@@ -31,6 +31,14 @@
 //	cr, _ := streamsched.SimulateCurve(g, s, env, env.B, 10_000, 100_000)
 //	fmt.Println(cr.MissesPerItem(4096, env.B), cr.MissesPerItem(65536, env.B))
 //
+// The same trace also answers realistic cache organisations:
+// SimulateCurveOrgs additionally profiles each requested OrgSpec — exact
+// set-associative LRU misses for every way count (per-set Mattson
+// stacks) and exact FIFO misses at the replayed way counts (multiplexed
+// per-set replicas) — so robustness sweeps over (capacity, ways, policy)
+// still cost one execution per scheduler. CacheSets maps a geometry to
+// the set count an OrgSpec needs.
+//
 // Subpackage workloads provides parameterised topologies of classic
 // streaming applications; cmd/experiments regenerates every experiment in
 // EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.

@@ -50,6 +50,21 @@ type Config struct {
 	Policy Policy
 }
 
+// Lines returns the number of cache lines (Capacity/Block) of a valid
+// configuration.
+func (cfg Config) Lines() int64 { return cfg.Capacity / cfg.Block }
+
+// Sets returns the number of sets of a valid configuration: Lines()/Ways,
+// or 1 when fully associative (Ways == 0). The set a block maps to is
+// blk mod Sets(); the one-pass organisation profiler (internal/trace)
+// shards traces by the same index.
+func (cfg Config) Sets() int64 {
+	if cfg.Ways == 0 {
+		return 1
+	}
+	return cfg.Lines() / int64(cfg.Ways)
+}
+
 // Validate checks the configuration.
 func (cfg Config) Validate() error {
 	if cfg.Block <= 0 {
@@ -148,9 +163,6 @@ type Cache struct {
 
 // New builds a cache from cfg.
 func New(cfg Config) (*Cache, error) {
-	if cfg.Policy == 0 && cfg.Ways == 0 {
-		// zero Policy is LRU already; nothing to normalise
-	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -234,6 +246,15 @@ func (c *Cache) Access(addr, size int64, write bool) {
 // AccessWord touches a single word.
 func (c *Cache) AccessWord(addr int64, write bool) {
 	c.accessBlock(addr/c.cfg.Block, write)
+}
+
+// AccessBlock touches one block directly by its block id. Block-level
+// traces (the observer tap's stream, or internal/trace logs) replayed
+// through AccessBlock reproduce the original run's hit/miss sequence
+// under any organisation — the oracle the one-pass set-associative and
+// FIFO curves are cross-validated against.
+func (c *Cache) AccessBlock(blk int64, write bool) {
+	c.accessBlock(blk, write)
 }
 
 // Resident reports whether every block of [addr, addr+size) is currently in

@@ -1,0 +1,126 @@
+package schedule
+
+// Property tests for the one-pass organisation curves: on random graphs,
+// MeasureCurveOrgs' set-associative LRU and FIFO miss counts must equal
+// the cache simulator's, point for point, for every scheduler — the
+// trace-based reproduction of E12's robustness ablation is exact, not an
+// approximation. Ways 1 (direct-mapped), small associativities, full
+// associativity, and the degenerate Capacity==Block cache are all covered.
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
+)
+
+// orgGeom is one (capacity, ways) geometry under test; ways 0 means fully
+// associative.
+type orgGeom struct {
+	capacity int64
+	ways     int64
+}
+
+// orgCase checks every geometry × {LRU, FIFO} of one scheduler on one
+// graph: a single MeasureCurveOrgs call against one Measure call per
+// point.
+func orgCase(t *testing.T, g *sdf.Graph, s Scheduler, env Env, geoms []orgGeom, warm, meas int64) {
+	t.Helper()
+	caps := make([]int64, len(geoms))
+	ways := make([]int64, len(geoms))
+	for i, gm := range geoms {
+		caps[i], ways[i] = gm.capacity, gm.ways
+	}
+	// The cross product GridSpecs builds is a superset of the geometry
+	// list; harmless, every requested point is still covered.
+	specs, specIdx, err := trace.GridSpecs(caps, env.B, ways, true)
+	if err != nil {
+		t.Fatalf("GridSpecs: %v", err)
+	}
+	cr, err := MeasureCurveOrgs(g, s, env, env.B, warm, meas, specs)
+	if err != nil {
+		t.Fatalf("%s MeasureCurveOrgs: %v", s.Name(), err)
+	}
+	for _, gm := range geoms {
+		sets, _ := trace.SetsFor(gm.capacity, env.B, gm.ways)
+		oc := cr.Orgs[specIdx[sets]]
+		eff := trace.EffectiveWays(gm.capacity, env.B, gm.ways)
+		for _, pol := range []cachesim.Policy{cachesim.LRU, cachesim.FIFO} {
+			cfg := cachesim.Config{Capacity: gm.capacity, Block: env.B, Ways: int(gm.ways), Policy: pol}
+			res, err := Measure(g, s, env, cfg, warm, meas)
+			if err != nil {
+				t.Fatalf("%s Measure(%+v): %v", s.Name(), cfg, err)
+			}
+			got, ok := oc.Misses(eff, pol == cachesim.FIFO)
+			if !ok {
+				t.Fatalf("%s: FIFO ways %d not replayed", s.Name(), eff)
+			}
+			if got != res.Stats.Misses {
+				t.Errorf("%s %s cap=%d ways=%d: curve %d, simulator %d",
+					s.Name(), pol, gm.capacity, gm.ways, got, res.Stats.Misses)
+			}
+		}
+	}
+}
+
+func TestPropOrgCurvesMatchSimulatorOnRandomPipelines(t *testing.T) {
+	env := Env{M: 256, B: 16}
+	// 512 words = 32 lines: divisible by 1, 2, 4; 1024 words = 64 lines.
+	geoms := []orgGeom{
+		{512, 1}, {512, 2}, {512, 4}, {512, 0},
+		{1024, 1}, {1024, 2}, {1024, 4}, {1024, 0},
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+			Nodes: 6 + rng.Intn(10), StateMin: 16, StateMax: 160, RateMax: 3,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range []Scheduler{FlatTopo{}, Scaled{S: 3}, PartitionedPipeline{}} {
+			orgCase(t, g, s, env, geoms, 96, 384)
+		}
+	}
+}
+
+func TestPropOrgCurvesMatchSimulatorOnRandomDags(t *testing.T) {
+	env := Env{M: 256, B: 16}
+	geoms := []orgGeom{
+		{512, 1}, {512, 2}, {512, 4}, {512, 0},
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		g, err := randgraph.RandomLayeredDag(rng, randgraph.LayeredSpec{
+			Layers: 2 + rng.Intn(3), Width: 1 + rng.Intn(3),
+			StateMin: 16, StateMax: 128, ExtraEdges: 2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range []Scheduler{FlatTopo{}, DemandDriven{}, PartitionedHomogeneous{}} {
+			orgCase(t, g, s, env, geoms, 96, 384)
+		}
+	}
+}
+
+// TestPropOrgCurvesCapacityEqualsBlock pins the degenerate single-line
+// cache: Capacity == Block, where direct-mapped, 1-way and fully
+// associative all coincide and every replacement policy is trivial.
+func TestPropOrgCurvesCapacityEqualsBlock(t *testing.T) {
+	env := Env{M: 64, B: 16}
+	geoms := []orgGeom{{16, 1}, {16, 0}}
+	rng := rand.New(rand.NewSource(42))
+	g, err := randgraph.RandomPipeline(rng, randgraph.PipelineSpec{
+		Nodes: 8, StateMin: 8, StateMax: 64, RateMax: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{FlatTopo{}, PartitionedPipeline{}} {
+		orgCase(t, g, s, env, geoms, 64, 256)
+	}
+}

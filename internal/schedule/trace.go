@@ -27,7 +27,12 @@ type CurveResult struct {
 	// Curve maps cache capacity to exact LRU misses for the measured
 	// window; Curve.MissesAtCapacity(C, B) equals Measure's Stats.Misses
 	// with cachesim.Config{Capacity: C, Block: B}.
-	Curve       *trace.MissCurve
+	Curve *trace.MissCurve
+	// Orgs holds the additional cache-organisation profiles requested via
+	// MeasureCurveOrgs, in request order: per OrgSpec, exact set-associative
+	// LRU misses for every way count and exact FIFO misses at the replayed
+	// way counts, all from the same recorded trace. Empty for MeasureCurve.
+	Orgs        []*trace.OrgCurves
 	BufferWords int64 // total buffer capacity the plan allocated
 	TraceLen    int64 // block accesses recorded (warmup + window)
 	MeanLatency float64
@@ -48,6 +53,18 @@ func (r *CurveResult) MissesPerItem(capacity, block int64) float64 {
 // each capacity (schedulers never consult the simulated cache's state, so
 // the access stream is capacity-independent).
 func MeasureCurve(g *sdf.Graph, s Scheduler, env Env, block int64, warm, measured int64) (*CurveResult, error) {
+	return MeasureCurveOrgs(g, s, env, block, warm, measured, nil)
+}
+
+// MeasureCurveOrgs is MeasureCurve with additional cache organisations:
+// alongside the fully-associative LRU curve, the same recorded trace is
+// profiled — in one extra replay driving every organisation at once —
+// under each requested OrgSpec (per-set Mattson stacks for set-associative
+// LRU, multiplexed per-set replicas for FIFO). The result's Orgs slice
+// parallels orgs; each entry exactly matches what Measure would report
+// with the corresponding cachesim.Config, still from one execution of the
+// schedule.
+func MeasureCurveOrgs(g *sdf.Graph, s Scheduler, env Env, block int64, warm, measured int64, orgs []trace.OrgSpec) (*CurveResult, error) {
 	if measured <= 0 {
 		return nil, fmt.Errorf("schedule: measured window must be positive, got %d", measured)
 	}
@@ -89,7 +106,11 @@ func MeasureCurve(g *sdf.Graph, s Scheduler, env Env, block int64, warm, measure
 	if err := m.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("schedule: %s broke conservation: %w", s.Name(), err)
 	}
-	curve, err := trace.Profile(log)
+	// The fully-associative curve is the Sets=1 organisation; profiling it
+	// through ProfileOrgs folds every requested organisation into a single
+	// replay of the log.
+	specs := append([]trace.OrgSpec{{Sets: 1}}, orgs...)
+	profiles, err := trace.ProfileOrgs(log, specs)
 	if err != nil {
 		return nil, fmt.Errorf("schedule: profile %s: %w", s.Name(), err)
 	}
@@ -99,7 +120,8 @@ func MeasureCurve(g *sdf.Graph, s Scheduler, env Env, block int64, warm, measure
 		SourceFired: m.SourceFirings() - fired0,
 		InputItems:  m.InputItems() - items0,
 		SinkItems:   m.SinkItems() - sink0,
-		Curve:       curve,
+		Curve:       profiles[0].LRU.Full(),
+		Orgs:        profiles[1:],
 		TraceLen:    log.Len(),
 	}
 	res.MeanLatency, res.MaxLatency = m.Latency()
@@ -127,12 +149,19 @@ func layoutWords(g *sdf.Graph, plan *Plan, block int64) int64 {
 // goroutine pool (workers <= 0 means GOMAXPROCS). Outcomes are returned in
 // scheduler order; failed schedulers carry their error and a nil value.
 func SweepCurves(g *sdf.Graph, scheds []Scheduler, env Env, block, warm, measured int64, workers int) []trace.Outcome[*CurveResult] {
+	return SweepCurveOrgs(g, scheds, env, block, warm, measured, nil, workers)
+}
+
+// SweepCurveOrgs is SweepCurves with additional cache organisations: every
+// scheduler's single recorded trace is also profiled under each OrgSpec
+// (see MeasureCurveOrgs).
+func SweepCurveOrgs(g *sdf.Graph, scheds []Scheduler, env Env, block, warm, measured int64, orgs []trace.OrgSpec, workers int) []trace.Outcome[*CurveResult] {
 	jobs := make([]trace.Job[*CurveResult], len(scheds))
 	for i, s := range scheds {
 		jobs[i] = trace.Job[*CurveResult]{
 			Name: s.Name(),
 			Run: func() (*CurveResult, error) {
-				return MeasureCurve(g, s, env, block, warm, measured)
+				return MeasureCurveOrgs(g, s, env, block, warm, measured, orgs)
 			},
 		}
 	}

@@ -1,0 +1,239 @@
+package trace
+
+import "sort"
+
+// FIFO profiling. FIFO is not a stack algorithm — a bigger FIFO cache can
+// miss more (Belady's anomaly) and eviction order is insertion order, not
+// recency — so there is no single-pass structure that answers every
+// capacity at once the way Mattson's algorithm does for LRU. What still
+// works is replay multiplexing: a FIFO set is just a circular buffer, so
+// one pass over the trace can drive an arbitrary number of per-set FIFO
+// replicas (one per requested way count) side by side, each a few words of
+// state per set. One recorded trace therefore still answers every
+// requested (sets, ways) FIFO point without re-running the scheduler or
+// the cache simulator.
+
+// FIFOProfiler replays a block-access stream through per-set FIFO caches
+// for a fixed set count and a list of way counts, all in one pass. It
+// mirrors cachesim's FIFO exactly: placement is blk mod sets, empty slots
+// fill in index order, and eviction removes the oldest insertion;
+// hits do not reorder the queue.
+type FIFOProfiler struct {
+	sets     int64
+	sims     []*fifoSim
+	accesses int64
+	cold     int64
+
+	// first-ever tracking for cold misses, dense with a sparse fallback
+	// like Profiler's block index.
+	seenDense  []bool
+	seenSparse map[int64]struct{}
+}
+
+// fifoSim is one way-count's bank of per-set circular buffers.
+type fifoSim struct {
+	ways   int64
+	blk    []int64 // sets*ways entries, -1 = empty
+	head   []int32 // per set: next insertion slot
+	misses int64
+	// resident is an O(1) membership index, used instead of scanning the
+	// row when ways exceeds fifoScanLimit (large fully-associative FIFOs
+	// would otherwise cost O(ways) per access).
+	resident map[int64]struct{}
+}
+
+// fifoScanLimit is the way count above which membership switches from a
+// linear row scan (cache-friendly, branch-predictable for real set sizes)
+// to a hash set.
+const fifoScanLimit = 16
+
+// NewFIFOProfiler returns a replayer for the given set count and way
+// counts (deduplicated, reported in ascending order). It panics if
+// sets < 1, ways is empty, or any way count is < 1.
+func NewFIFOProfiler(sets int64, ways []int64) *FIFOProfiler {
+	if sets < 1 {
+		panic("trace: FIFOProfiler needs at least one set")
+	}
+	if len(ways) == 0 {
+		panic("trace: FIFOProfiler needs at least one way count")
+	}
+	uniq := make([]int64, 0, len(ways))
+	seen := make(map[int64]bool, len(ways))
+	for _, w := range ways {
+		if w < 1 {
+			panic("trace: FIFOProfiler way counts must be >= 1")
+		}
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	p := &FIFOProfiler{sets: sets, sims: make([]*fifoSim, len(uniq))}
+	for i, w := range uniq {
+		blk := make([]int64, sets*w)
+		for j := range blk {
+			blk[j] = -1
+		}
+		s := &fifoSim{ways: w, blk: blk, head: make([]int32, sets)}
+		if w > fifoScanLimit {
+			s.resident = make(map[int64]struct{}, sets*w)
+		}
+		p.sims[i] = s
+	}
+	return p
+}
+
+// Sets returns the number of sets the replayer shards into.
+func (p *FIFOProfiler) Sets() int64 { return p.sets }
+
+// RecordBlock implements Recorder.
+func (p *FIFOProfiler) RecordBlock(blk int64) { p.Touch(blk) }
+
+// Touch processes one block access through every replica.
+func (p *FIFOProfiler) Touch(blk int64) {
+	p.accesses++
+	if p.firstEver(blk) {
+		p.cold++
+	}
+	set := blk % p.sets
+	if set < 0 {
+		set += p.sets
+	}
+	for _, s := range p.sims {
+		s.touch(set, blk)
+	}
+}
+
+func (s *fifoSim) touch(set, blk int64) {
+	base := set * s.ways
+	row := s.blk[base : base+s.ways]
+	if s.resident != nil {
+		if _, ok := s.resident[blk]; ok {
+			return // FIFO hit: no reorder
+		}
+	} else {
+		for _, b := range row {
+			if b == blk {
+				return // FIFO hit: no reorder
+			}
+		}
+	}
+	s.misses++
+	h := s.head[set]
+	if s.resident != nil {
+		if victim := row[h]; victim >= 0 {
+			delete(s.resident, victim)
+		}
+		s.resident[blk] = struct{}{}
+	}
+	row[h] = blk
+	h++
+	if int64(h) == s.ways {
+		h = 0
+	}
+	s.head[set] = h
+}
+
+func (p *FIFOProfiler) firstEver(blk int64) bool {
+	if blk >= 0 && blk < denseLimit {
+		if blk >= int64(len(p.seenDense)) {
+			n := int64(len(p.seenDense))
+			if n == 0 {
+				n = 4096
+			}
+			for n <= blk {
+				n *= 2
+			}
+			if n > denseLimit {
+				n = denseLimit
+			}
+			grown := make([]bool, n)
+			copy(grown, p.seenDense)
+			p.seenDense = grown
+		}
+		if p.seenDense[blk] {
+			return false
+		}
+		p.seenDense[blk] = true
+		return true
+	}
+	if _, ok := p.seenSparse[blk]; ok {
+		return false
+	}
+	if p.seenSparse == nil {
+		p.seenSparse = make(map[int64]struct{}, 64)
+	}
+	p.seenSparse[blk] = struct{}{}
+	return true
+}
+
+// ResetCounts zeroes the miss counters while keeping every replica's cache
+// contents (and the first-ever set), exactly like resetting the cache
+// simulator's statistics after warmup.
+func (p *FIFOProfiler) ResetCounts() {
+	p.accesses = 0
+	p.cold = 0
+	for _, s := range p.sims {
+		s.misses = 0
+	}
+}
+
+// Curve freezes the replayed counts into a FIFOCurve.
+func (p *FIFOProfiler) Curve() *FIFOCurve {
+	c := &FIFOCurve{
+		Sets:     p.sets,
+		Accesses: p.accesses,
+		Cold:     p.cold,
+		ways:     make([]int64, len(p.sims)),
+		misses:   make([]int64, len(p.sims)),
+	}
+	for i, s := range p.sims {
+		c.ways[i] = s.ways
+		c.misses[i] = s.misses
+	}
+	return c
+}
+
+// FIFOCurve is the result of multiplexed FIFO replay: the exact FIFO miss
+// count of the recorded (windowed) stream for a fixed set count at each
+// replayed way count. Unlike the LRU curves it is defined only at the way
+// counts that were replayed.
+type FIFOCurve struct {
+	// Sets is the set count the trace was sharded by.
+	Sets int64
+	// Accesses is the number of counted (in-window) block accesses.
+	Accesses int64
+	// Cold is the number of counted first-ever accesses.
+	Cold   int64
+	ways   []int64
+	misses []int64
+}
+
+// Ways returns the replayed way counts in ascending order.
+func (c *FIFOCurve) Ways() []int64 {
+	out := make([]int64, len(c.ways))
+	copy(out, c.ways)
+	return out
+}
+
+// Misses returns the exact miss count of a Sets-set FIFO cache with the
+// given way count; ok is false if that way count was not replayed.
+func (c *FIFOCurve) Misses(ways int64) (n int64, ok bool) {
+	for i, w := range c.ways {
+		if w == ways {
+			return c.misses[i], true
+		}
+	}
+	return 0, false
+}
+
+// MissRatio returns misses/accesses at the given way count (0 if that way
+// count was not replayed or nothing was counted).
+func (c *FIFOCurve) MissRatio(ways int64) float64 {
+	m, ok := c.Misses(ways)
+	if !ok || c.Accesses == 0 {
+		return 0
+	}
+	return float64(m) / float64(c.Accesses)
+}

@@ -1,0 +1,168 @@
+package trace
+
+import "fmt"
+
+// OrgSpec selects one cache-organisation family to profile a trace under:
+// a set count whose per-set LRU stacks answer every way count at once,
+// plus an optional list of way counts to replay under FIFO replacement.
+// Sets == 1 is the fully-associative family (way count == total lines).
+type OrgSpec struct {
+	// Sets is the number of sets the trace is sharded into; must be >= 1.
+	Sets int64
+	// FIFOWays lists the way counts to replay under FIFO; empty means the
+	// family is profiled under LRU only.
+	FIFOWays []int64
+}
+
+// Validate checks the spec.
+func (s OrgSpec) Validate() error {
+	if s.Sets < 1 {
+		return fmt.Errorf("trace: organisation needs at least one set, got %d", s.Sets)
+	}
+	for _, w := range s.FIFOWays {
+		if w < 1 {
+			return fmt.Errorf("trace: FIFO way count must be >= 1, got %d", w)
+		}
+	}
+	return nil
+}
+
+// OrgCurves is the profile of one trace under one OrgSpec: the exact LRU
+// miss count for every way count (from the per-set Mattson stacks) and,
+// when requested, the exact FIFO miss counts at the replayed way counts.
+type OrgCurves struct {
+	Spec OrgSpec
+	LRU  *AssocCurve
+	FIFO *FIFOCurve // nil when the spec requested no FIFO way counts
+}
+
+// SetsFor returns the set count of a (capacity, block, ways) geometry in
+// cachesim's terms — lines = capacity/block split into lines/ways sets —
+// with ways == 0 meaning fully associative (one set). It mirrors
+// cachesim.Config.Validate's divisibility requirements.
+func SetsFor(capacity, block, ways int64) (int64, error) {
+	if block <= 0 || capacity <= 0 {
+		return 0, fmt.Errorf("trace: capacity and block must be positive, got %d/%d", capacity, block)
+	}
+	if capacity%block != 0 {
+		return 0, fmt.Errorf("trace: capacity %d not a multiple of block %d", capacity, block)
+	}
+	lines := capacity / block
+	if ways == 0 {
+		return 1, nil
+	}
+	if ways < 0 || ways > lines {
+		return 0, fmt.Errorf("trace: ways %d out of range for %d lines", ways, lines)
+	}
+	if lines%ways != 0 {
+		return 0, fmt.Errorf("trace: line count %d not a multiple of ways %d", lines, ways)
+	}
+	return lines / ways, nil
+}
+
+// EffectiveWays resolves a ways value to the way count an OrgSpec curve
+// is evaluated at: 0 (fully associative) becomes the line count.
+func EffectiveWays(capacity, block, ways int64) int64 {
+	if ways == 0 {
+		return capacity / block
+	}
+	return ways
+}
+
+// GridSpecs groups a (capacity x ways) evaluation grid at the given block
+// size into one OrgSpec per distinct set count — the shape ProfileOrgs
+// wants — and returns the set-count -> spec-index map used to find each
+// geometry's curves again. A ways value of 0 means fully associative.
+// When fifo is true every geometry's effective way count is added to its
+// spec's FIFO replay list. Errors mirror SetsFor's geometry rules.
+func GridSpecs(caps []int64, block int64, ways []int64, fifo bool) ([]OrgSpec, map[int64]int, error) {
+	specIdx := make(map[int64]int)
+	var specs []OrgSpec
+	for _, c := range caps {
+		for _, w := range ways {
+			sets, err := SetsFor(c, block, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx, ok := specIdx[sets]
+			if !ok {
+				idx = len(specs)
+				specIdx[sets] = idx
+				specs = append(specs, OrgSpec{Sets: sets})
+			}
+			if fifo {
+				specs[idx].FIFOWays = append(specs[idx].FIFOWays, EffectiveWays(c, block, w))
+			}
+		}
+	}
+	return specs, specIdx, nil
+}
+
+// Misses evaluates the organisation at one way count under LRU (fifo
+// false) or FIFO (fifo true). ok is false when FIFO was requested but
+// that way count was not replayed.
+func (o *OrgCurves) Misses(ways int64, fifo bool) (n int64, ok bool) {
+	if fifo {
+		if o.FIFO == nil {
+			return 0, false
+		}
+		return o.FIFO.Misses(ways)
+	}
+	return o.LRU.Misses(ways), true
+}
+
+// ProfileOrgs replays the log once and feeds every organisation's
+// profilers from that single pass, honouring the log's measured window
+// (accesses before WindowStart warm the caches but are not counted). The
+// returned curves are in spec order. Work per access is proportional to
+// the number of specs, but the trace — the expensive part, one scheduled
+// execution — is recorded and decoded exactly once.
+func ProfileOrgs(l *Log, specs []OrgSpec) ([]*OrgCurves, error) {
+	assoc := make([]*AssocProfiler, len(specs))
+	fifo := make([]*FIFOProfiler, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		assoc[i] = NewAssocProfiler(s.Sets)
+		if len(s.FIFOWays) > 0 {
+			fifo[i] = NewFIFOProfiler(s.Sets, s.FIFOWays)
+		}
+	}
+	reset := func() {
+		for i := range specs {
+			assoc[i].ResetCounts()
+			if fifo[i] != nil {
+				fifo[i].ResetCounts()
+			}
+		}
+	}
+	start := l.WindowStart()
+	var i int64
+	err := l.ForEach(func(blk int64) {
+		if i == start {
+			reset()
+		}
+		i++
+		for j := range assoc {
+			assoc[j].Touch(blk)
+			if fifo[j] != nil {
+				fifo[j].Touch(blk)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if start >= i {
+		reset() // empty window: nothing after the mark is measured
+	}
+	out := make([]*OrgCurves, len(specs))
+	for j, s := range specs {
+		out[j] = &OrgCurves{Spec: s, LRU: assoc[j].Curve()}
+		if fifo[j] != nil {
+			out[j].FIFO = fifo[j].Curve()
+		}
+	}
+	return out, nil
+}

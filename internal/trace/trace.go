@@ -21,6 +21,14 @@
 //     order-statistics (Fenwick) tree over last-access slots: O(log n)
 //     per access, memory proportional to the number of distinct blocks.
 //   - MissCurve is the profile result: misses as a function of capacity.
+//   - AssocProfiler shards the trace by set index and runs one Mattson
+//     stack per set: exact set-associative LRU misses for every way count
+//     of a set count, still in one pass (AssocCurve).
+//   - FIFOProfiler multiplexes per-set FIFO replicas over the same pass:
+//     exact FIFO misses at each requested way count (FIFOCurve).
+//   - ProfileOrgs drives any number of organisations' profilers from a
+//     single replay of a recorded log, so one trace per scheduler answers
+//     every (capacity, ways, policy) robustness question.
 //   - Sweep runs a pool of profiling jobs (schedulers x workloads) on a
 //     bounded number of goroutines.
 package trace

@@ -47,6 +47,19 @@ type (
 	MissCurve = trace.MissCurve
 	// CurveResult is a measured run profiled into a MissCurve.
 	CurveResult = schedule.CurveResult
+	// OrgSpec selects a cache organisation family (set count + FIFO way
+	// counts) to profile a recorded trace under; see SimulateCurveOrgs.
+	OrgSpec = trace.OrgSpec
+	// OrgCurves is one organisation's profile: exact set-associative LRU
+	// misses for every way count plus exact FIFO misses at the replayed
+	// way counts, from the same trace.
+	OrgCurves = trace.OrgCurves
+	// AssocCurve is a per-set reuse-distance profile: exact set-associative
+	// LRU misses as a function of the way count, for a fixed set count.
+	AssocCurve = trace.AssocCurve
+	// FIFOCurve is a multiplexed FIFO replay: exact FIFO misses at each
+	// replayed way count, for a fixed set count.
+	FIFOCurve = trace.FIFOCurve
 	// ParallelConfig describes a simulated multiprocessor run.
 	ParallelConfig = parallel.Config
 	// ParallelResult summarises a simulated multiprocessor run.
@@ -148,12 +161,45 @@ func SimulateCurve(g *Graph, s Scheduler, env Env, block, warm, measured int64) 
 	return schedule.MeasureCurve(g, s, env, block, warm, measured)
 }
 
+// SimulateCurveOrgs is SimulateCurve with additional cache organisations:
+// the same recorded trace is also profiled under each requested OrgSpec —
+// per-set Mattson stacks give exact set-associative LRU misses for every
+// way count, and multiplexed per-set replicas give exact FIFO misses at
+// the replayed way counts. One execution of the schedule answers every
+// (capacity, ways, policy) point:
+//
+//	sets, _ := streamsched.CacheSets(capacity, env.B, 4) // 4-way
+//	cr, _ := streamsched.SimulateCurveOrgs(g, s, env, env.B, 1000, 10000,
+//		[]streamsched.OrgSpec{{Sets: sets, FIFOWays: []int64{4}}})
+//	lru := cr.Orgs[0].LRU.Misses(4)
+//	fifo, _ := cr.Orgs[0].FIFO.Misses(4)
+//
+// Each point exactly matches Simulate with the corresponding CacheConfig.
+func SimulateCurveOrgs(g *Graph, s Scheduler, env Env, block, warm, measured int64, orgs []OrgSpec) (*CurveResult, error) {
+	return schedule.MeasureCurveOrgs(g, s, env, block, warm, measured, orgs)
+}
+
+// CacheSets returns the set count of a (capacity, block, ways) geometry,
+// ways 0 meaning fully associative — the Sets value an OrgSpec needs to
+// answer that geometry. It errors on the same ill-formed geometries
+// CacheConfig validation rejects.
+func CacheSets(capacity, block, ways int64) (int64, error) {
+	return trace.SetsFor(capacity, block, ways)
+}
+
 // SweepCurves records and profiles one miss curve per scheduler on a
 // bounded goroutine pool (workers <= 0 means GOMAXPROCS). Results are in
 // scheduler order; if any scheduler fails, its slot is nil and the joined
 // error reports every failure.
 func SweepCurves(g *Graph, scheds []Scheduler, env Env, block, warm, measured int64, workers int) ([]*CurveResult, error) {
-	out := schedule.SweepCurves(g, scheds, env, block, warm, measured, workers)
+	return SweepCurveOrgs(g, scheds, env, block, warm, measured, nil, workers)
+}
+
+// SweepCurveOrgs is SweepCurves with additional cache organisations: every
+// scheduler's single recorded trace is also profiled under each OrgSpec
+// (see SimulateCurveOrgs).
+func SweepCurveOrgs(g *Graph, scheds []Scheduler, env Env, block, warm, measured int64, orgs []OrgSpec, workers int) ([]*CurveResult, error) {
+	out := schedule.SweepCurveOrgs(g, scheds, env, block, warm, measured, orgs, workers)
 	results := make([]*CurveResult, len(out))
 	var errs []error
 	for i, o := range out {
