@@ -12,6 +12,7 @@ import (
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/exec"
+	"streamsched/internal/hierarchy"
 	"streamsched/internal/lowerbound"
 	"streamsched/internal/parallel"
 	"streamsched/internal/partition"
@@ -429,6 +430,52 @@ func BenchmarkE19MissCurveSweep(b *testing.B) {
 			for _, c := range caps {
 				_ = cr.Curve.MissesAtCapacity(c, env.B)
 			}
+		}
+	})
+}
+
+// BenchmarkE20HierSweep compares a 12-point (L1, L2) hierarchy grid done
+// pointwise (one full execution through the two-level simulator per
+// point) against the one-pass composition (one recorded trace, L1 curves
+// plus filtered-miss-stream L2 curves for every point at once).
+func BenchmarkE20HierSweep(b *testing.B) {
+	g := benchPipeline(b, 30, 128)
+	env := schedule.Env{M: 512, B: 16}
+	spec := hierarchy.HierSpec{
+		Block: env.B,
+		L1s: []hierarchy.Level{
+			{Capacity: 256, Block: env.B, Ways: 1},
+			{Capacity: 256, Block: env.B},
+			{Capacity: 512, Block: env.B, Ways: 1},
+			{Capacity: 512, Block: env.B},
+		},
+		L2s: []hierarchy.Level{
+			{Capacity: 2048, Block: env.B},
+			{Capacity: 4096, Block: 64, Ways: 8},
+			{Capacity: 4096, Block: 64, Ways: 4, Policy: cachesim.FIFO},
+		},
+	}
+	warm, meas := int64(256), int64(2048)
+	b.Run("pointwise-simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for pi := range spec.L1s {
+				for pj := range spec.L2s {
+					if _, err := schedule.MeasureHierPoint(g, schedule.PartitionedPipeline{}, env,
+						spec.Config(pi, pj), warm, meas); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("hier-curves", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hr, err := schedule.MeasureHier(g, schedule.PartitionedPipeline{}, env, spec, warm, meas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, m2 := hr.MissesPerItem(0, 0)
+			b.ReportMetric(m2, "mem-misses/item")
 		}
 	})
 }

@@ -37,7 +37,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := map[string]bool{}
-	for i := 1; i <= 19; i++ {
+	for i := 1; i <= 20; i++ {
 		if i == 14 {
 			continue // E14 is the real-memory benchmark in bench_test.go
 		}
@@ -58,6 +58,36 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func expID(i int) string { return fmt.Sprintf("E%d", i) }
+
+// TestE20Harness pins the new hierarchy experiment's harness integration:
+// it is registered (so -list shows it), selectable as "-run e20", sorts
+// after E19, and runs correctly under the -jobs parallel mode with its
+// output buffered and attributed.
+func TestE20Harness(t *testing.T) {
+	selected, err := selectExperiments("e20")
+	if err != nil || len(selected) != 1 || selected[0].id != "E20" {
+		t.Fatalf("selectExperiments(e20) = %v, %v; want the E20 experiment", selected, err)
+	}
+	if !strings.Contains(selected[0].title, "hierarch") {
+		t.Errorf("E20 title %q does not mention hierarchies", selected[0].title)
+	}
+	if experimentOrder("E19") >= experimentOrder("E20") {
+		t.Error("E20 should sort after E19")
+	}
+	if testing.Short() {
+		t.Skip("running E20 itself skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if failed := runExperiments(selected, runConfig{seed: 1}, 2, &buf); failed != 0 {
+		t.Fatalf("E20 failed under -jobs 2:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E20", "cross-validation vs two-level simulator", "exact match at every point"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parallel-mode E20 output missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestExperimentOrder(t *testing.T) {
 	if experimentOrder("E2") >= experimentOrder("E10") {

@@ -58,11 +58,11 @@ func cmdMissCurve(args []string, out io.Writer) error {
 		scheds = []schedule.Scheduler{s}
 	}
 	// Validate the explicit capacity list before paying for the sweep.
-	caps, err := parseCaps(*capsFlag, *b)
+	caps, err := parseCapsFlag("misscurve", "-caps", *capsFlag, *b)
 	if err != nil {
 		return err
 	}
-	waysList, err := parseWays(*waysFlag)
+	waysList, err := parseWaysFlag("misscurve", "-ways", *waysFlag)
 	if err != nil {
 		return err
 	}
@@ -75,7 +75,7 @@ func cmdMissCurve(args []string, out io.Writer) error {
 	defaultOrg := len(waysList) == 1 && waysList[0] == 0 && len(policies) == 1 && policies[0] == "LRU"
 	if defaultOrg {
 		outcomes := schedule.SweepCurves(g, scheds, env, *b, *warm, *meas, *workers)
-		results, err := collectCurves(outcomes)
+		results, err := collectSweep("misscurve", outcomes)
 		if err != nil {
 			return err
 		}
@@ -104,6 +104,9 @@ func cmdMissCurve(args []string, out io.Writer) error {
 	if caps == nil {
 		return fmt.Errorf("misscurve: -ways/-policy need an explicit -caps grid (set counts depend on the capacities)")
 	}
+	if err := validateGeometries("misscurve", "-ways", caps, *b, waysList); err != nil {
+		return err
+	}
 	fifo := false
 	for _, p := range policies {
 		fifo = fifo || p == "FIFO"
@@ -113,7 +116,7 @@ func cmdMissCurve(args []string, out io.Writer) error {
 		return fmt.Errorf("misscurve: %w", err)
 	}
 	outcomes := schedule.SweepCurveOrgs(g, scheds, env, *b, *warm, *meas, specs, *workers)
-	results, err := collectCurves(outcomes)
+	results, err := collectSweep("misscurve", outcomes)
 	if err != nil {
 		return err
 	}
@@ -160,12 +163,13 @@ func cmdMissCurve(args []string, out io.Writer) error {
 	return nil
 }
 
-// collectCurves unwraps sweep outcomes, failing on the first error.
-func collectCurves(outcomes []trace.Outcome[*schedule.CurveResult]) ([]*schedule.CurveResult, error) {
-	results := make([]*schedule.CurveResult, 0, len(outcomes))
+// collectSweep unwraps sweep outcomes, failing on the first scheduler
+// error with the verb's prefix.
+func collectSweep[T any](verb string, outcomes []trace.Outcome[T]) ([]T, error) {
+	results := make([]T, 0, len(outcomes))
 	for _, o := range outcomes {
 		if o.Err != nil {
-			return nil, fmt.Errorf("misscurve: %s: %w", o.Name, o.Err)
+			return nil, fmt.Errorf("%s: %s: %w", verb, o.Name, o.Err)
 		}
 		results = append(results, o.Value)
 	}
@@ -192,9 +196,9 @@ func curveTable(graph string, m, b int64, org string, caps []int64, results []*s
 	return tb
 }
 
-// parseWays parses the -ways flag: a comma-separated mix of way counts and
-// the word "full" (or 0) for fully associative.
-func parseWays(flagVal string) ([]int64, error) {
+// parseWaysFlag parses an associativity-list flag: a comma-separated mix
+// of way counts and the word "full" (or 0) for fully associative.
+func parseWaysFlag(verb, flagName, flagVal string) ([]int64, error) {
 	var out []int64
 	seen := map[int64]bool{}
 	for _, f := range strings.Split(flagVal, ",") {
@@ -208,7 +212,7 @@ func parseWays(flagVal string) ([]int64, error) {
 		default:
 			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil || v < 1 {
-				return nil, fmt.Errorf("misscurve: bad -ways entry %q (want a positive way count or \"full\")", f)
+				return nil, fmt.Errorf("%s: bad %s entry %q (want a positive way count or \"full\")", verb, flagName, f)
 			}
 			w = v
 		}
@@ -218,7 +222,7 @@ func parseWays(flagVal string) ([]int64, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("misscurve: -ways lists no associativities")
+		return nil, fmt.Errorf("%s: %s lists no associativities", verb, flagName)
 	}
 	return out, nil
 }
@@ -261,20 +265,21 @@ func waysLabel(ways int64) string {
 	}
 }
 
-// parseCaps parses the -caps flag into block-aligned capacities, or
-// returns nil when the flag is empty (caller derives the default grid).
-func parseCaps(flagVal string, block int64) ([]int64, error) {
-	if flagVal == "" {
+// parseCapsFlag parses a capacity-list flag into block-aligned
+// capacities, or returns nil when the flag is empty (a caller with a
+// default grid derives it; one that requires the flag rejects nil).
+func parseCapsFlag(verb, flagName, flagVal string, block int64) ([]int64, error) {
+	if strings.TrimSpace(flagVal) == "" {
 		return nil, nil
 	}
 	var caps []int64
 	for _, f := range strings.Split(flagVal, ",") {
 		v, err := parseSize(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("misscurve: bad capacity %q: %w", f, err)
+			return nil, fmt.Errorf("%s: bad %s capacity %q: %w", verb, flagName, f, err)
 		}
 		if v < block {
-			return nil, fmt.Errorf("misscurve: capacity %d below block size %d", v, block)
+			return nil, fmt.Errorf("%s: %s capacity %d below block size %d", verb, flagName, v, block)
 		}
 		caps = append(caps, v-v%block)
 	}

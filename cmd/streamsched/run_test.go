@@ -337,3 +337,87 @@ func TestMissCurveOrganisations(t *testing.T) {
 		t.Error("bad -policy accepted")
 	}
 }
+
+// TestMissCurveGeometryValidation pins the pre-sweep geometry check: an
+// associativity that does not divide a capacity's line count must fail
+// before any trace is recorded, with a message naming the offending flag
+// values (not a deep SetsFor error).
+func TestMissCurveGeometryValidation(t *testing.T) {
+	path := writeGraph(t, "fmradio", 64)
+	var sb strings.Builder
+	// 384 words / 16 = 24 lines; 5 ways does not divide 24.
+	err := run([]string{"misscurve", "-M", "256", "-B", "16", "-caps", "384", "-ways", "5", path}, &sb)
+	if err == nil {
+		t.Fatal("non-divisible -ways accepted")
+	}
+	for _, want := range []string{"-ways 5", "24 cache lines", "capacity 384"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// 7 ways exceed the single line of a block-sized capacity.
+	err = run([]string{"misscurve", "-M", "256", "-B", "16", "-caps", "16", "-ways", "7", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-ways 7 exceeds") {
+		t.Errorf("oversized ways error = %v", err)
+	}
+}
+
+func TestHierCommand(t *testing.T) {
+	path := writeGraph(t, "fmradio", 64)
+	var sb strings.Builder
+	err := run([]string{"hier", "-M", "256", "-B", "16",
+		"-l1caps", "256,512", "-l1ways", "4,full",
+		"-l2caps", "4k", "-l2block", "64", "-l2policy", "fifo",
+		"-warm", "64", "-measure", "256", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"hierarchy misses/item", "non-inclusive",
+		"L1miss/item", "L2miss/item", "AMAT",
+		"256w/B16 4-way LRU", "512w/B16 FA LRU", "4096w/B64 FA FIFO",
+		"flat-topo", "partitioned",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hier output missing %q:\n%s", want, out)
+		}
+	}
+
+	// CSV mode keeps the level columns.
+	sb.Reset()
+	err = run([]string{"hier", "-M", "256", "-sched", "flat",
+		"-l1caps", "256", "-l2caps", "1k",
+		"-warm", "64", "-measure", "256", "-csv", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(csvLines) != 2 { // header + 1 scheduler x 1 L1 x 1 L2
+		t.Fatalf("hier csv lines = %d, want 2:\n%s", len(csvLines), sb.String())
+	}
+	if !strings.HasPrefix(csvLines[0], "scheduler,L1,L2,") {
+		t.Errorf("hier csv header missing level columns: %s", csvLines[0])
+	}
+
+	// Flag validation: missing grids, bad geometry, bad cost model.
+	for _, args := range [][]string{
+		{"hier", "-M", "256", "-l2caps", "1k", path},                                     // no -l1caps
+		{"hier", "-M", "256", "-l1caps", "256", path},                                    // no -l2caps
+		{"hier", "-l1caps", "256", "-l2caps", "1k", path},                                // no -M
+		{"hier", "-M", "256", "-l1caps", "384", "-l1ways", "5", "-l2caps", "1k", path},   // bad L1 geometry
+		{"hier", "-M", "256", "-l1caps", "256", "-l2caps", "1k", "-l2block", "24", path}, // misaligned L2 block
+		{"hier", "-M", "256", "-l1caps", "256", "-l2caps", "1k", "-l1policy", "mru", path},
+		{"hier", "-M", "256", "-l1caps", "256", "-l2caps", "1k", "-amat", "1,2", path},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+	// The L2 geometry error names the L2 flags.
+	err = run([]string{"hier", "-M", "256", "-l1caps", "256",
+		"-l2caps", "1152", "-l2block", "64", "-l2ways", "5", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-l2ways 5") {
+		t.Errorf("L2 geometry error = %v", err)
+	}
+}

@@ -39,6 +39,16 @@
 // still cost one execution per scheduler. CacheSets maps a geometry to
 // the set count an OrgSpec needs.
 //
+// SimulateHier extends the engine to two-level cache hierarchies
+// (internal/hierarchy): one recorded execution evaluates every (L1, L2)
+// pairing of a HierSpec grid — L1 curves via the organisation profiler,
+// exact L2 curves by profiling each L1 design point's filtered miss
+// stream — modelling the non-inclusive hierarchy in which the L2 only
+// sees the L1's misses, with an AMAT-style composed cost (HierCostModel).
+// Every grid point matches the exact two-level simulator (hierarchy.Sim,
+// which additionally supports exclusive victim-cache mode); experiment
+// E20 cross-validates the whole grid.
+//
 // Subpackage workloads provides parameterised topologies of classic
 // streaming applications; cmd/experiments regenerates every experiment in
 // EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.

@@ -1,0 +1,116 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bankStream builds a block stream with streaming-like structure:
+// sequential runs, a hot set, and occasional far jumps.
+func bankStream(rng *rand.Rand, n int, nblocks int64) []int64 {
+	out := make([]int64, 0, n)
+	cur := int64(0)
+	for len(out) < n {
+		switch rng.Intn(4) {
+		case 0: // sequential run
+			for r := 0; r < 8 && len(out) < n; r++ {
+				out = append(out, cur)
+				cur = (cur + 1) % nblocks
+			}
+		case 1: // hot set
+			out = append(out, rng.Int63n(8))
+		case 2: // revisit
+			cur = rng.Int63n(nblocks)
+			out = append(out, cur)
+		default:
+			out = append(out, rng.Int63n(nblocks))
+		}
+	}
+	return out
+}
+
+// TestBankMatchesCache drives identical streams through a Bank (access +
+// insert-on-miss) and a Cache and requires identical miss counts across
+// organisations and policies: the Bank is the container Cache's behaviour
+// is defined by, so the two must agree access for access.
+func TestBankMatchesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := bankStream(rng, 20000, 256)
+	cases := []Config{
+		{Capacity: 16 * 16, Block: 16, Ways: 0, Policy: LRU},
+		{Capacity: 16 * 16, Block: 16, Ways: 0, Policy: FIFO},
+		{Capacity: 32 * 16, Block: 16, Ways: 1, Policy: LRU},
+		{Capacity: 32 * 16, Block: 16, Ways: 1, Policy: FIFO},
+		{Capacity: 64 * 16, Block: 16, Ways: 4, Policy: LRU},
+		{Capacity: 64 * 16, Block: 16, Ways: 4, Policy: FIFO},
+		{Capacity: 16, Block: 16, Ways: 1, Policy: LRU}, // single line
+	}
+	for _, cfg := range cases {
+		cache, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		ways := int64(cfg.Ways)
+		if ways == 0 {
+			ways = cfg.Lines()
+		}
+		bank := NewBank(cfg.Sets(), ways, cfg.Policy)
+		var bankMisses int64
+		for _, blk := range stream {
+			cache.AccessBlock(blk, false)
+			if !bank.Access(blk) {
+				bank.Insert(blk)
+				bankMisses++
+			}
+		}
+		if got, want := bankMisses, cache.Stats().Misses; got != want {
+			t.Errorf("%v %s: bank %d misses, cache %d", cfg, cfg.Policy, got, want)
+		}
+		if got, want := bank.Len(), cache.Len(); got != want {
+			t.Errorf("%v %s: bank holds %d blocks, cache %d", cfg, cfg.Policy, got, want)
+		}
+	}
+}
+
+// TestBankRemove pins Remove semantics: removal frees a slot without
+// disturbing the order of the survivors.
+func TestBankRemove(t *testing.T) {
+	b := NewBank(1, 3, LRU)
+	for _, blk := range []int64{1, 2, 3} {
+		b.Insert(blk)
+	}
+	if !b.Remove(2) {
+		t.Fatal("resident block not removed")
+	}
+	if b.Remove(2) {
+		t.Error("removed block still resident")
+	}
+	if b.Contains(2) || !b.Contains(1) || !b.Contains(3) {
+		t.Error("wrong residency after Remove")
+	}
+	// Order is now [3, 1]; inserting two blocks evicts 1 first, then 3.
+	b.Insert(4)
+	if victim, evicted := b.Insert(5); !evicted || victim != 1 {
+		t.Errorf("victim = %d, %v; want 1, true", victim, evicted)
+	}
+	if victim, evicted := b.Insert(6); !evicted || victim != 3 {
+		t.Errorf("victim = %d, %v; want 3, true", victim, evicted)
+	}
+}
+
+// TestBankNegativeBlocks checks the set mapping stays collision-free for
+// negative ids (the profilers' convention).
+func TestBankNegativeBlocks(t *testing.T) {
+	b := NewBank(4, 2, LRU)
+	for _, blk := range []int64{-1, -2, -3, -4, -5} {
+		if b.Access(blk) {
+			t.Errorf("unseen block %d hit", blk)
+		}
+		b.Insert(blk)
+	}
+	for _, blk := range []int64{-2, -3, -4, -5} {
+		if !b.Access(blk) {
+			t.Errorf("resident block %d missed", blk)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/trace"
+)
+
+// benchLog records a 400k-access stream with streaming-like structure and
+// a warmed window, the shape the schedule harness produces.
+func benchLog() *trace.Log {
+	rng := rand.New(rand.NewSource(99))
+	blocks := stream(rng, 400000, 512)
+	l := trace.NewLog()
+	for i, blk := range blocks {
+		if i == 50000 {
+			l.MarkWindow()
+		}
+		l.RecordBlock(blk)
+	}
+	return l
+}
+
+// benchSpec is the E20 grid shape: 4 L1 design points x 3 L2 design
+// points, mixed policies and a coarse L2 block.
+func benchSpec() HierSpec {
+	return HierSpec{
+		Block: 16,
+		L1s: []Level{
+			lv(256, 16, 1, cachesim.LRU),
+			lv(256, 16, 0, cachesim.LRU),
+			lv(512, 16, 1, cachesim.LRU),
+			lv(512, 16, 0, cachesim.LRU),
+		},
+		L2s: []Level{
+			lv(2048, 16, 0, cachesim.LRU),
+			lv(4096, 64, 8, cachesim.LRU),
+			lv(4096, 64, 4, cachesim.FIFO),
+		},
+	}
+}
+
+// BenchmarkProfileHier measures the one-pass grid evaluation: one log
+// replayed through the L1 organisation profilers plus one exact filter per
+// L1 point feeding the L2 profilers.
+func BenchmarkProfileHier(b *testing.B) {
+	l := benchLog()
+	spec := benchSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileHier(l, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimAccess measures the two-level simulator's inner loop on a
+// set-associative L1 in front of a fully-associative LRU L2.
+func BenchmarkSimAccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	blocks := stream(rng, 1<<16, 512)
+	cfg := Config{
+		L1: lv(512, 16, 4, cachesim.LRU),
+		L2: lv(4096, 64, 0, cachesim.LRU),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, blk := range blocks {
+			sim.Access(blk)
+		}
+	}
+}
+
+// BenchmarkSimulateLog measures pointwise two-level replay of one grid
+// point — the per-point cost ProfileHier amortises away.
+func BenchmarkSimulateLog(b *testing.B) {
+	l := benchLog()
+	cfg := Config{
+		L1: lv(512, 16, 0, cachesim.LRU),
+		L2: lv(4096, 64, 8, cachesim.LRU),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLog(l, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

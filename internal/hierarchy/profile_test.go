@@ -1,0 +1,165 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamsched/internal/cachesim"
+	"streamsched/internal/trace"
+)
+
+// testSpec is the standard grid the profile tests sweep: direct-mapped,
+// set-associative, and fully-associative L1s under both policies, against
+// LRU and FIFO L2s including a coarser block size.
+func testSpec() HierSpec {
+	return HierSpec{
+		Block: 16,
+		L1s: []Level{
+			lv(16*16, 16, 1, cachesim.LRU),  // direct-mapped
+			lv(16*16, 16, 0, cachesim.LRU),  // fully associative
+			lv(32*16, 16, 4, cachesim.LRU),  // set-associative
+			lv(32*16, 16, 4, cachesim.FIFO), // FIFO L1
+			lv(16, 16, 1, cachesim.LRU),     // single line (Capacity == Block)
+		},
+		L2s: []Level{
+			lv(128*16, 16, 0, cachesim.LRU),  // FA LRU, same block
+			lv(128*16, 16, 8, cachesim.LRU),  // 8-way LRU
+			lv(128*16, 16, 8, cachesim.FIFO), // 8-way FIFO, same family as above
+			lv(64*64, 64, 0, cachesim.LRU),   // FA LRU, coarse block
+			lv(64*64, 64, 4, cachesim.FIFO),  // FIFO, coarse block
+		},
+	}
+}
+
+// recordLog turns a block stream into a Log with a measured window after
+// the first warm accesses.
+func recordLog(blocks []int64, warm int) *trace.Log {
+	l := trace.NewLog()
+	for i, blk := range blocks {
+		if i == warm {
+			l.MarkWindow()
+		}
+		l.RecordBlock(blk)
+	}
+	if warm >= len(blocks) {
+		l.MarkWindow()
+	}
+	return l
+}
+
+// TestProfileHierMatchesSimulator is the package's core exactness check:
+// every grid point of the one-pass profile equals a fresh pointwise replay
+// through the two-level simulator, warm window included.
+func TestProfileHierMatchesSimulator(t *testing.T) {
+	spec := testSpec()
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := stream(rng, 20000, 300)
+		l := recordLog(blocks, 5000)
+		hc, err := ProfileHier(l, spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if hc.Accesses != 15000 {
+			t.Errorf("seed %d: windowed accesses = %d, want 15000", seed, hc.Accesses)
+		}
+		for i := range spec.L1s {
+			for j := range spec.L2s {
+				sim, err := SimulateLog(l, spec.Config(i, j))
+				if err != nil {
+					t.Fatalf("seed %d (%d,%d): %v", seed, i, j, err)
+				}
+				l1, l2 := hc.Point(i, j)
+				if l1 != sim.L1Stats().Misses || l2 != sim.L2Stats().Misses {
+					t.Errorf("seed %d L1=%v L2=%v: curve (%d, %d), simulator (%d, %d)",
+						seed, spec.L1s[i], spec.L2s[j], l1, l2,
+						sim.L1Stats().Misses, sim.L2Stats().Misses)
+				}
+				if got, want := hc.AMAT(i, j, DefaultCostModel), sim.AMAT(DefaultCostModel); got != want {
+					t.Errorf("seed %d (%d,%d): AMAT %v vs %v", seed, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileHierSpillIdentical is the spill × hierarchy-profiling
+// regression test: a log that spilled to disk must profile into exactly
+// the same curves as the identical in-memory log.
+func TestProfileHierSpillIdentical(t *testing.T) {
+	// Long enough that several 64 KiB chunks seal and cross the threshold.
+	rng := rand.New(rand.NewSource(21))
+	blocks := stream(rng, 300000, 500)
+	mem := recordLog(blocks, 4000)
+	spilled := trace.NewLog()
+	spilled.SetSpillThreshold(1 << 12) // force many spill flushes
+	for i, blk := range blocks {
+		if i == 4000 {
+			spilled.MarkWindow()
+		}
+		spilled.RecordBlock(blk)
+	}
+	defer spilled.Close()
+	if !spilled.Spilled() {
+		t.Fatal("spill threshold never triggered; the test is vacuous")
+	}
+	spec := testSpec()
+	a, err := ProfileHier(mem, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileHier(spilled, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("spill-backed curves differ from in-memory curves:\nmem: %+v\nspill: %+v", a, b)
+	}
+}
+
+func TestHierSpecValidate(t *testing.T) {
+	ok := testSpec()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []HierSpec{
+		{Block: 0, L1s: ok.L1s, L2s: ok.L2s},
+		{Block: 16, L1s: nil, L2s: ok.L2s},
+		{Block: 16, L1s: ok.L1s, L2s: nil},
+		{Block: 16, L1s: []Level{lv(256, 32, 0, cachesim.LRU)}, L2s: ok.L2s}, // L1 block != recording block
+		{Block: 16, L1s: ok.L1s, L2s: []Level{lv(240, 24, 0, cachesim.LRU)}}, // L2 block % 16
+		{Block: 16, L1s: []Level{lv(250, 16, 0, cachesim.LRU)}, L2s: ok.L2s}, // bad geometry
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if _, err := ProfileHier(trace.NewLog(), bad[0]); err == nil {
+		t.Error("ProfileHier accepted an invalid spec")
+	}
+}
+
+// TestProfileHierEmptyWindow: marking the window at the end counts nothing.
+func TestProfileHierEmptyWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := recordLog(stream(rng, 2000, 100), 2000)
+	hc, err := ProfileHier(l, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Accesses != 0 {
+		t.Errorf("accesses = %d, want 0", hc.Accesses)
+	}
+	for i, m := range hc.L1Misses {
+		if m != 0 {
+			t.Errorf("L1[%d] misses = %d, want 0", i, m)
+		}
+		for j, m2 := range hc.L2Misses[i] {
+			if m2 != 0 {
+				t.Errorf("point (%d,%d) L2 misses = %d, want 0", i, j, m2)
+			}
+		}
+	}
+}

@@ -182,6 +182,32 @@ func (l *Log) ForEach(fn func(blk int64)) error {
 	return dec.err
 }
 
+// ForEachWindowed replays every recorded access in order like ForEach,
+// additionally invoking reset exactly when the measured window begins —
+// after the warmup prefix has been replayed, or once at the end when the
+// window mark sits at or past the last access (an empty window measures
+// nothing). Every windowed consumer (the profilers, the hierarchy
+// simulator) shares this so the warm-then-reset-counts protocol lives in
+// one place.
+func (l *Log) ForEachWindowed(reset func(), touch func(blk int64)) error {
+	start := l.window
+	var i int64
+	err := l.ForEach(func(blk int64) {
+		if i == start {
+			reset()
+		}
+		i++
+		touch(blk)
+	})
+	if err != nil {
+		return err
+	}
+	if start >= i {
+		reset()
+	}
+	return nil
+}
+
 // Close releases the spill file, if any. A log that never spilled stays
 // readable; one that did cannot be replayed afterwards (the in-memory tail
 // is delta-encoded against the released prefix), so ForEach reports an

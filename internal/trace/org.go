@@ -137,13 +137,7 @@ func ProfileOrgs(l *Log, specs []OrgSpec) ([]*OrgCurves, error) {
 			}
 		}
 	}
-	start := l.WindowStart()
-	var i int64
-	err := l.ForEach(func(blk int64) {
-		if i == start {
-			reset()
-		}
-		i++
+	err := l.ForEachWindowed(reset, func(blk int64) {
 		for j := range assoc {
 			assoc[j].Touch(blk)
 			if fifo[j] != nil {
@@ -153,9 +147,6 @@ func ProfileOrgs(l *Log, specs []OrgSpec) ([]*OrgCurves, error) {
 	})
 	if err != nil {
 		return nil, err
-	}
-	if start >= i {
-		reset() // empty window: nothing after the mark is measured
 	}
 	out := make([]*OrgCurves, len(specs))
 	for j, s := range specs {

@@ -147,20 +147,8 @@ func (p *Profiler) seedStack(blk int64) {
 // are not counted), and returns the resulting miss curve.
 func Profile(l *Log) (*MissCurve, error) {
 	p := NewProfiler()
-	start := l.WindowStart()
-	var i int64
-	err := l.ForEach(func(blk int64) {
-		if i == start {
-			p.ResetCounts()
-		}
-		i++
-		p.Touch(blk)
-	})
-	if err != nil {
+	if err := l.ForEachWindowed(p.ResetCounts, p.Touch); err != nil {
 		return nil, err
-	}
-	if start >= i {
-		p.ResetCounts() // empty window: nothing after the mark is measured
 	}
 	return p.Curve(), nil
 }

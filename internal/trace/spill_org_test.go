@@ -1,0 +1,76 @@
+package trace_test
+
+// Regression test for the spill x organisation-profiling interaction: a
+// log that spilled sealed chunks to disk must replay into exactly the
+// same organisation curves as the identical in-memory log. The spill path
+// decodes through a different code path (bufio over the unlinked temp
+// file, then the in-memory tail), so a windowing or delta-base bug there
+// would silently corrupt every curve; this pins byte-for-byte equality of
+// the profiles. ProfileHier's spill equivalence is covered by the
+// mirror-image test in internal/hierarchy.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamsched/internal/trace"
+)
+
+func TestProfileOrgsSpillIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Long enough that several 64 KiB chunks seal and cross the threshold.
+	blocks := randomStream(rng, 300000, 600)
+	record := func(spillAt int64) *trace.Log {
+		l := trace.NewLog()
+		if spillAt > 0 {
+			l.SetSpillThreshold(spillAt)
+		}
+		for i, blk := range blocks {
+			if i == 40000 {
+				l.MarkWindow()
+			}
+			l.RecordBlock(blk)
+		}
+		return l
+	}
+	mem := record(0)
+	spilled := record(1 << 12)
+	defer spilled.Close()
+	if !spilled.Spilled() {
+		t.Fatal("spill threshold never triggered; the test is vacuous")
+	}
+	if mem.Len() != spilled.Len() || mem.WindowStart() != spilled.WindowStart() {
+		t.Fatalf("logs diverge before profiling: %d/%d accesses, window %d/%d",
+			mem.Len(), spilled.Len(), mem.WindowStart(), spilled.WindowStart())
+	}
+	specs := []trace.OrgSpec{
+		{Sets: 1, FIFOWays: []int64{16, 64}},
+		{Sets: 8, FIFOWays: []int64{4}},
+		{Sets: 32},
+	}
+	a, err := trace.ProfileOrgs(mem, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ProfileOrgs(spilled, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("spill-backed organisation curves differ from in-memory curves")
+	}
+	// Spot-check a few evaluation points so a DeepEqual false negative on
+	// unexported state cannot hide a real divergence silently.
+	for i := range a {
+		for _, w := range []int64{1, 4, 16} {
+			if a[i].LRU.Misses(w) != b[i].LRU.Misses(w) {
+				t.Errorf("spec %d LRU ways %d: %d vs %d", i, w, a[i].LRU.Misses(w), b[i].LRU.Misses(w))
+			}
+		}
+	}
+	// The spilled log must stay appendable and re-profilable after replay.
+	if _, err := trace.ProfileOrgs(spilled, specs); err != nil {
+		t.Errorf("second profiling pass over the spilled log: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"streamsched/internal/cachesim"
+	"streamsched/internal/hierarchy"
 	"streamsched/internal/lowerbound"
 	"streamsched/internal/parallel"
 	"streamsched/internal/partition"
@@ -64,6 +65,40 @@ type (
 	ParallelConfig = parallel.Config
 	// ParallelResult summarises a simulated multiprocessor run.
 	ParallelResult = parallel.Result
+	// HierLevel describes one cache level of a multi-level hierarchy
+	// (capacity, block, ways, policy).
+	HierLevel = hierarchy.Level
+	// HierConfig describes a two-level hierarchy for the exact simulator:
+	// an L1 and an L2 level plus the inclusion mode (non-inclusive or
+	// exclusive); see SimulateHierPoint.
+	HierConfig = hierarchy.Config
+	// HierMode selects a hierarchy's inclusion policy.
+	HierMode = hierarchy.Mode
+	// HierPointResult is one pointwise two-level measurement; see
+	// SimulateHierPoint.
+	HierPointResult = schedule.HierPointResult
+	// HierSpec is an (L1, L2) evaluation grid profiled from one recorded
+	// trace; see SimulateHier.
+	HierSpec = hierarchy.HierSpec
+	// HierCurves is the profile of one trace under a HierSpec: exact
+	// per-level miss counts at every (L1, L2) grid point.
+	HierCurves = hierarchy.HierCurves
+	// HierCostModel weighs per-level traffic into an AMAT-style average
+	// cost per access.
+	HierCostModel = hierarchy.CostModel
+	// HierResult is a measured run profiled into an (L1, L2) miss grid.
+	HierResult = schedule.HierResult
+)
+
+// Inclusion modes for HierConfig.
+const (
+	// HierNonInclusive lets each level cache independently; an L1 miss
+	// fills both levels (the default, and the mode SimulateHier's one-pass
+	// curves compose).
+	HierNonInclusive = hierarchy.NonInclusive
+	// HierExclusive makes the L2 a victim cache: a block lives in at most
+	// one level. Requires equal block sizes.
+	HierExclusive = hierarchy.Exclusive
 )
 
 // NewGraph returns a builder for a graph with the given name. Add modules
@@ -179,6 +214,53 @@ func SimulateCurveOrgs(g *Graph, s Scheduler, env Env, block, warm, measured int
 	return schedule.MeasureCurveOrgs(g, s, env, block, warm, measured, orgs)
 }
 
+// SimulateHier extends the one-pass engine to a two-level cache
+// hierarchy: the same single recorded execution is evaluated at every
+// (L1, L2) grid point of spec — exact L1 misses via the organisation
+// profiler, exact L2 misses by profiling each L1 design point's filtered
+// miss stream — modelling the non-inclusive hierarchy in which the L2
+// only ever sees the L1's misses:
+//
+//	spec := streamsched.HierSpec{
+//		Block: env.B,
+//		L1s: []streamsched.HierLevel{{Capacity: 512, Block: env.B, Ways: 4}},
+//		L2s: []streamsched.HierLevel{{Capacity: 8192, Block: 4 * env.B}},
+//	}
+//	hr, _ := streamsched.SimulateHier(g, s, env, spec, 1000, 10000)
+//	l1, l2 := hr.Curves.Point(0, 0) // L1 misses (L2 traffic), memory misses
+//	amat := hr.Curves.AMAT(0, 0, streamsched.HierCostModel{L1Hit: 1, L2Hit: 10, Mem: 100})
+//
+// Each grid point exactly matches a pointwise run of the two-level
+// simulator (experiment E20 cross-validates every point).
+func SimulateHier(g *Graph, s Scheduler, env Env, spec HierSpec, warm, measured int64) (*HierResult, error) {
+	return schedule.MeasureHier(g, s, env, spec, warm, measured)
+}
+
+// SimulateHierPoint plans and runs g with s once, driving every
+// block-level access of the measured window through the exact two-level
+// simulator for cfg. This is the pointwise oracle SimulateHier's one-pass
+// grid matches at every (L1, L2) point, and the only path to exclusive
+// (victim cache) hierarchies, whose L2 contents depend on the L1's
+// eviction stream rather than its miss stream alone:
+//
+//	pt, _ := streamsched.SimulateHierPoint(g, s, env, streamsched.HierConfig{
+//		L1:   streamsched.HierLevel{Capacity: 512, Block: env.B, Ways: 4},
+//		L2:   streamsched.HierLevel{Capacity: 8192, Block: env.B},
+//		Mode: streamsched.HierExclusive,
+//	}, 1000, 10000)
+//	fmt.Println(pt.L1.Misses, pt.L2.Misses)
+func SimulateHierPoint(g *Graph, s Scheduler, env Env, cfg HierConfig, warm, measured int64) (*HierPointResult, error) {
+	return schedule.MeasureHierPoint(g, s, env, cfg, warm, measured)
+}
+
+// SweepHierCurves records and profiles one hierarchy grid per scheduler on
+// a bounded goroutine pool (workers <= 0 means GOMAXPROCS). Results are in
+// scheduler order; if any scheduler fails, its slot is nil and the joined
+// error reports every failure.
+func SweepHierCurves(g *Graph, scheds []Scheduler, env Env, spec HierSpec, warm, measured int64, workers int) ([]*HierResult, error) {
+	return collectOutcomes(schedule.SweepHier(g, scheds, env, spec, warm, measured, workers))
+}
+
 // CacheSets returns the set count of a (capacity, block, ways) geometry,
 // ways 0 meaning fully associative — the Sets value an OrgSpec needs to
 // answer that geometry. It errors on the same ill-formed geometries
@@ -199,8 +281,13 @@ func SweepCurves(g *Graph, scheds []Scheduler, env Env, block, warm, measured in
 // scheduler's single recorded trace is also profiled under each OrgSpec
 // (see SimulateCurveOrgs).
 func SweepCurveOrgs(g *Graph, scheds []Scheduler, env Env, block, warm, measured int64, orgs []OrgSpec, workers int) ([]*CurveResult, error) {
-	out := schedule.SweepCurveOrgs(g, scheds, env, block, warm, measured, orgs, workers)
-	results := make([]*CurveResult, len(out))
+	return collectOutcomes(schedule.SweepCurveOrgs(g, scheds, env, block, warm, measured, orgs, workers))
+}
+
+// collectOutcomes unwraps sweep outcomes into results in scheduler order;
+// failed schedulers leave a nil slot and contribute to the joined error.
+func collectOutcomes[T any](out []trace.Outcome[T]) ([]T, error) {
+	results := make([]T, len(out))
 	var errs []error
 	for i, o := range out {
 		results[i] = o.Value

@@ -305,3 +305,120 @@ func TestMissCurveSweepFasterThanSimulates(t *testing.T) {
 		t.Errorf("miss-curve sweep (%v) not faster than 5 Simulate calls (%v)", curveTime, simTime)
 	}
 }
+
+// TestSimulateHierAcrossWorkloads runs the hierarchy facade on a real
+// workload and checks the composed (L1, L2) grid is internally coherent:
+// L1 misses bound L2 misses, a bigger L2 never misses more under LRU, and
+// the grid agrees with the single-level curve at the L1 points.
+func TestSimulateHierAcrossWorkloads(t *testing.T) {
+	g, err := workloads.FMRadio(8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := streamsched.Env{M: 512, B: 16}
+	spec := streamsched.HierSpec{
+		Block: env.B,
+		L1s: []streamsched.HierLevel{
+			{Capacity: 256, Block: env.B, Ways: 4},
+			{Capacity: 512, Block: env.B},
+		},
+		L2s: []streamsched.HierLevel{
+			{Capacity: 2048, Block: env.B},
+			{Capacity: 8192, Block: env.B},
+		},
+	}
+	s := streamsched.AutoScheduler(g)
+	hr, err := streamsched.SimulateHier(g, s, env, spec, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := streamsched.SimulateCurveOrgs(g, s, env, env.B, 128, 512,
+		[]streamsched.OrgSpec{{Sets: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec.L1s {
+		for j := range spec.L2s {
+			l1, l2 := hr.Curves.Point(i, j)
+			if l2 > l1 {
+				t.Errorf("point (%d,%d): L2 misses %d exceed L2 accesses %d", i, j, l2, l1)
+			}
+		}
+		// A bigger fully-associative LRU L2 can only filter more.
+		if small, big := hr.Curves.L2Misses[i][0], hr.Curves.L2Misses[i][1]; big > small {
+			t.Errorf("L1 %d: 8k L2 misses %d exceed 2k L2 misses %d", i, big, small)
+		}
+	}
+	// L1 point 0 is the 4-way 256-word geometry: it must match the
+	// single-trace organisation profile of the same geometry.
+	if got, want := hr.Curves.L1Misses[0], cr.Orgs[0].LRU.Misses(4); got != want {
+		t.Errorf("hier L1 misses %d, org curve %d", got, want)
+	}
+	if got, want := hr.Curves.L1Misses[1], cr.Curve.MissesAtCapacity(512, env.B); got != want {
+		t.Errorf("hier FA L1 misses %d, miss curve %d", got, want)
+	}
+}
+
+// TestSweepHierCurvesAcrossSchedulers runs the pooled hierarchy sweep
+// through the public API.
+func TestSweepHierCurvesAcrossSchedulers(t *testing.T) {
+	g := buildPipeline(t, 24, 128)
+	env := streamsched.Env{M: 512, B: 16}
+	spec := streamsched.HierSpec{
+		Block: env.B,
+		L1s:   []streamsched.HierLevel{{Capacity: 512, Block: env.B}},
+		L2s:   []streamsched.HierLevel{{Capacity: 4096, Block: 64}},
+	}
+	scheds := append(streamsched.Baselines(), streamsched.AutoScheduler(g))
+	results, err := streamsched.SweepHierCurves(g, scheds, env, spec, 256, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := streamsched.HierCostModel{L1Hit: 1, L2Hit: 10, Mem: 100}
+	flat, part := results[0], results[len(results)-1]
+	if flat.Curves.Accesses == 0 || part.Curves.Accesses == 0 {
+		t.Fatal("empty hierarchy curves from sweep")
+	}
+	// The partitioned schedule should cost less through the hierarchy too.
+	if fa, pa := flat.Curves.AMAT(0, 0, cm), part.Curves.AMAT(0, 0, cm); pa >= fa {
+		t.Errorf("partitioned AMAT %.3f not better than flat %.3f", pa, fa)
+	}
+}
+
+// TestSimulateHierPointExclusive drives the pointwise two-level simulator
+// through the public API in exclusive mode and checks it against the
+// one-pass grid's non-inclusive counterpart: with a victim-cache L2 of
+// the same total size, memory misses cannot exceed the L1-alone misses,
+// and the non-inclusive point must match SimulateHier exactly.
+func TestSimulateHierPointExclusive(t *testing.T) {
+	g := buildPipeline(t, 16, 128)
+	env := streamsched.Env{M: 256, B: 16}
+	l1 := streamsched.HierLevel{Capacity: 256, Block: env.B}
+	l2 := streamsched.HierLevel{Capacity: 1024, Block: env.B}
+	excl, err := streamsched.SimulateHierPoint(g, streamsched.AutoScheduler(g), env,
+		streamsched.HierConfig{L1: l1, L2: l2, Mode: streamsched.HierExclusive}, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.L1.Misses == 0 {
+		t.Fatal("no L1 misses measured; the check is vacuous")
+	}
+	if excl.L2.Misses > excl.L1.Misses {
+		t.Errorf("exclusive L2 misses %d exceed L2 accesses %d", excl.L2.Misses, excl.L1.Misses)
+	}
+	spec := streamsched.HierSpec{Block: env.B, L1s: []streamsched.HierLevel{l1}, L2s: []streamsched.HierLevel{l2}}
+	hr, err := streamsched.SimulateHier(g, streamsched.AutoScheduler(g), env, spec, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := streamsched.SimulateHierPoint(g, streamsched.AutoScheduler(g), env,
+		streamsched.HierConfig{L1: l1, L2: l2}, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := hr.Curves.Point(0, 0)
+	if c1 != pt.L1.Misses || c2 != pt.L2.Misses {
+		t.Errorf("one-pass point (%d, %d) != pointwise simulator (%d, %d)",
+			c1, c2, pt.L1.Misses, pt.L2.Misses)
+	}
+}
