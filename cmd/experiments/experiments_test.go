@@ -37,7 +37,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := map[string]bool{}
-	for i := 1; i <= 20; i++ {
+	for i := 1; i <= 21; i++ {
 		if i == 14 {
 			continue // E14 is the real-memory benchmark in bench_test.go
 		}
@@ -85,6 +85,35 @@ func TestE20Harness(t *testing.T) {
 	for _, want := range []string{"=== E20", "cross-validation vs two-level simulator", "exact match at every point"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("parallel-mode E20 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE21Harness pins the shared-L2 experiment's harness integration:
+// registered, selectable, sorted after E20, and correct under -jobs with
+// its exact cross-validation reported.
+func TestE21Harness(t *testing.T) {
+	selected, err := selectExperiments("e21")
+	if err != nil || len(selected) != 1 || selected[0].id != "E21" {
+		t.Fatalf("selectExperiments(e21) = %v, %v; want the E21 experiment", selected, err)
+	}
+	if !strings.Contains(selected[0].title, "shared-L2") {
+		t.Errorf("E21 title %q does not mention the shared L2", selected[0].title)
+	}
+	if experimentOrder("E20") >= experimentOrder("E21") {
+		t.Error("E21 should sort after E20")
+	}
+	if testing.Short() {
+		t.Skip("running E21 itself skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if failed := runExperiments(selected, runConfig{seed: 1}, 2, &buf); failed != 0 {
+		t.Fatalf("E21 failed under -jobs 2:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E21", "cross-validation vs shared-L2 simulator", "exact match at every point"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parallel-mode E21 output missing %q:\n%s", want, out)
 		}
 	}
 }

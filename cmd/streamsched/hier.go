@@ -85,7 +85,7 @@ func cmdHier(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cm, err := parseCostModel(*amatFlag)
+	cm, err := parseCostModel("hier", *amatFlag)
 	if err != nil {
 		return err
 	}
@@ -176,16 +176,16 @@ func parsePolicy(verb, flagName, flagVal string) (cachesim.Policy, error) {
 }
 
 // parseCostModel parses the -amat flag's three comma-separated latencies.
-func parseCostModel(flagVal string) (hierarchy.CostModel, error) {
+func parseCostModel(verb, flagVal string) (hierarchy.CostModel, error) {
 	parts := strings.Split(flagVal, ",")
 	if len(parts) != 3 {
-		return hierarchy.CostModel{}, fmt.Errorf("hier: -amat wants three latencies (L1-hit,L2-hit,memory), got %q", flagVal)
+		return hierarchy.CostModel{}, fmt.Errorf("%s: -amat wants three latencies (L1-hit,L2-hit,memory), got %q", verb, flagVal)
 	}
 	var vals [3]float64
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || v < 0 {
-			return hierarchy.CostModel{}, fmt.Errorf("hier: bad -amat latency %q", p)
+			return hierarchy.CostModel{}, fmt.Errorf("%s: bad -amat latency %q", verb, p)
 		}
 		vals[i] = v
 	}

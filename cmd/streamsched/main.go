@@ -9,6 +9,7 @@
 //	streamsched simulate -M 512 -B 16 [-cache 1024] [-sched partitioned] <graph.json>
 //	streamsched misscurve -M 512 -B 16 [-sched all] <graph.json>
 //	streamsched hier -M 512 -B 16 -l1caps 256,512 -l2caps 4k,16k <graph.json>
+//	streamsched shared -M 512 -B 16 -P 4 -l1caps 256,512 -l2caps 4k,16k <graph.json>
 //	streamsched export -workload fmradio [-o graph.json]
 package main
 

@@ -25,6 +25,7 @@ var errUsage = errors.New(`usage:
   streamsched simulate -M <words> -B <words> [-cache <words>] [-ways N] [-policy lru|fifo] [-sched <name>] [-warm N] [-measure N] <graph.json>
   streamsched misscurve -M <words> -B <words> [-sched <name>|all] [-caps c1,c2,...] [-ways w1,w2,full] [-policy lru|fifo|both] [-csv] <graph.json>
   streamsched hier -M <words> -B <words> -l1caps c1,... -l2caps c1,... [-l1ways w,full] [-l2ways w,full] [-l1policy lru|fifo] [-l2policy lru|fifo] [-l2block <words>] [-amat l1,l2,mem] [-csv] <graph.json>
+  streamsched shared -M <words> -B <words> -P <procs> -l1caps c1,... -l2caps c1,... [-rule auto|homogeneous|pipeline] [-algo <name>|singleton] [-l1ways w,full] [-l2ways w,full] [-l1policy lru|fifo] [-l2policy lru|fifo] [-l2block <words>] [-amat l1,l2,mem] [-csv] <graph.json>
   streamsched bound -M <words> -B <words> <graph.json>
   streamsched buffers -M <words> [-sched <name>] [-probe N] <graph.json>
   streamsched compile -M <words> [-sched <name>] [-o <file>] <graph.json>
@@ -48,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		return cmdMissCurve(args[1:], out)
 	case "hier":
 		return cmdHier(args[1:], out)
+	case "shared":
+		return cmdShared(args[1:], out)
 	case "bound":
 		return cmdBound(args[1:], out)
 	case "buffers":

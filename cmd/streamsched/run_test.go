@@ -421,3 +421,54 @@ func TestHierCommand(t *testing.T) {
 		t.Errorf("L2 geometry error = %v", err)
 	}
 }
+
+func TestSharedCommand(t *testing.T) {
+	path := writeGraph(t, "fmradio", 64)
+	var sb strings.Builder
+	err := run([]string{"shared", "-M", "256", "-B", "16", "-P", "2",
+		"-l1caps", "256,512", "-l2caps", "4k", "-l2block", "64", "-l2ways", "4",
+		"-warm", "64", "-measure", "256", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"shared-L2 hierarchy misses/item", "P=2",
+		"L1miss/item", "L2miss/item", "AMAT",
+		"256w/B16 FA LRU", "512w/B16 FA LRU", "4096w/B64 4-way LRU",
+		"per-processor breakdown", "makespan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shared output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Singleton partition + explicit homogeneous rule, CSV mode.
+	sb.Reset()
+	err = run([]string{"shared", "-M", "256", "-P", "2", "-rule", "homogeneous",
+		"-algo", "singleton", "-l1caps", "256", "-l2caps", "1k",
+		"-warm", "64", "-measure", "256", "-csv", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(csvLines) != 2 { // header + 1 L1 x 1 L2
+		t.Fatalf("shared csv lines = %d, want 2:\n%s", len(csvLines), sb.String())
+	}
+
+	// Flag validation: missing grids, bad P/rule, bad geometry.
+	for _, args := range [][]string{
+		{"shared", "-M", "256", "-l2caps", "1k", path},                                 // no -l1caps
+		{"shared", "-M", "256", "-l1caps", "256", path},                                // no -l2caps
+		{"shared", "-l1caps", "256", "-l2caps", "1k", path},                            // no -M
+		{"shared", "-M", "256", "-P", "0", "-l1caps", "256", "-l2caps", "1k", path},    // bad P
+		{"shared", "-M", "256", "-rule", "x", "-l1caps", "256", "-l2caps", "1k", path}, // bad rule
+		{"shared", "-M", "256", "-l1caps", "384", "-l1ways", "5", "-l2caps", "1k", path},
+		{"shared", "-M", "256", "-l1caps", "256", "-l2caps", "1k", "-l2block", "24", path},
+		{"shared", "-M", "256", "-l1caps", "256", "-l2caps", "1k", "-amat", "1,2", path},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

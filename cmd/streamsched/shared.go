@@ -1,0 +1,194 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"streamsched"
+	"streamsched/internal/hierarchy"
+	"streamsched/internal/parallel"
+	"streamsched/internal/partition"
+	"streamsched/internal/report"
+	"streamsched/internal/schedule"
+)
+
+// cmdShared records one traced multiprocessor run — P logical processors
+// with private L1-sized design caches claiming components under the
+// homogeneous or pipeline rule — and evaluates a whole shared-L2 grid
+// from it: every processor gets a private replica of each L1 design
+// point, and the interleaved miss streams contend for each shared L2
+// design point in exactly the recorded order. A second table breaks one
+// grid point down per processor (private-L1 and attributed shared-L2
+// traffic, per-processor cost, makespan) via the exact shared simulator.
+func cmdShared(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shared", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	m := fs.Int64("M", 0, "design cache size in words (schedules are planned for this)")
+	b := fs.Int64("B", 16, "L1 block size in words (also the trace granularity)")
+	procs := fs.Int("P", 2, "simulated processors (each with a private L1)")
+	rule := fs.String("rule", "auto", "claiming rule: auto, homogeneous, or pipeline")
+	algo := fs.String("algo", "auto", "partitioning algorithm (run.go names, or singleton)")
+	l1capsFlag := fs.String("l1caps", "", "comma-separated private-L1 capacities in words (k/m suffixes ok)")
+	l1waysFlag := fs.String("l1ways", "full", "L1 associativities: way counts and/or \"full\"")
+	l1policyFlag := fs.String("l1policy", "lru", "L1 replacement policy: lru or fifo")
+	l2capsFlag := fs.String("l2caps", "", "comma-separated shared-L2 capacities in words")
+	l2block := fs.Int64("l2block", 0, "L2 block size in words (default: the L1 block)")
+	l2waysFlag := fs.String("l2ways", "full", "L2 associativities: way counts and/or \"full\"")
+	l2policyFlag := fs.String("l2policy", "lru", "L2 replacement policy: lru or fifo")
+	amatFlag := fs.String("amat", "1,10,100", "cost model: L1-hit,L2-hit,memory latencies")
+	warm := fs.Int64("warm", 1024, "warmup source firings")
+	meas := fs.Int64("measure", 4096, "measured source firings")
+	detail := fs.Bool("detail", true, "per-processor breakdown of the first grid point")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	g, err := loadGraph(fs)
+	if err != nil {
+		return err
+	}
+	if *m <= 0 || *b <= 0 {
+		return fmt.Errorf("shared: -M and -B must be positive\n%w", errUsage)
+	}
+	if *procs < 1 {
+		return fmt.Errorf("shared: -P must be >= 1, got %d", *procs)
+	}
+	if *l2block == 0 {
+		*l2block = *b
+	}
+	if *l2block%*b != 0 {
+		return fmt.Errorf("shared: -l2block %d must be a multiple of the L1 block %d", *l2block, *b)
+	}
+	var prule parallel.Rule
+	switch *rule {
+	case "auto":
+		prule = parallel.AutoRule
+	case "homogeneous":
+		prule = parallel.HomogeneousRule
+	case "pipeline":
+		prule = parallel.PipelineRule
+	default:
+		return fmt.Errorf("shared: bad -rule %q (want auto, homogeneous, or pipeline)\n%w", *rule, errUsage)
+	}
+	l1caps, err := parseLevelCaps("shared", "-l1caps", *l1capsFlag, *b)
+	if err != nil {
+		return err
+	}
+	l2caps, err := parseLevelCaps("shared", "-l2caps", *l2capsFlag, *l2block)
+	if err != nil {
+		return err
+	}
+	l1ways, err := parseWaysFlag("shared", "-l1ways", *l1waysFlag)
+	if err != nil {
+		return err
+	}
+	l2ways, err := parseWaysFlag("shared", "-l2ways", *l2waysFlag)
+	if err != nil {
+		return err
+	}
+	if err := validateGeometries("shared", "-l1ways", l1caps, *b, l1ways); err != nil {
+		return err
+	}
+	if err := validateGeometries("shared", "-l2ways", l2caps, *l2block, l2ways); err != nil {
+		return err
+	}
+	l1pol, err := parsePolicy("shared", "-l1policy", *l1policyFlag)
+	if err != nil {
+		return err
+	}
+	l2pol, err := parsePolicy("shared", "-l2policy", *l2policyFlag)
+	if err != nil {
+		return err
+	}
+	cm, err := parseCostModel("shared", *amatFlag)
+	if err != nil {
+		return err
+	}
+
+	var part *partition.Partition
+	if *algo == "singleton" {
+		part = partition.Singleton(g)
+	} else {
+		part, err = partitionBy(*algo, g, *m)
+		if err != nil {
+			return err
+		}
+	}
+
+	spec := streamsched.SharedHierSpec{Block: *b, Procs: *procs}
+	for _, c := range l1caps {
+		for _, w := range l1ways {
+			spec.L1s = append(spec.L1s, streamsched.HierLevel{Capacity: c, Block: *b, Ways: w, Policy: l1pol})
+		}
+	}
+	for _, c := range l2caps {
+		for _, w := range l2ways {
+			spec.L2s = append(spec.L2s, streamsched.HierLevel{Capacity: c, Block: *l2block, Ways: w, Policy: l2pol})
+		}
+	}
+
+	cfg := parallel.Config{
+		Procs: *procs,
+		Env:   schedule.Env{M: *m, B: *b},
+		Cache: streamsched.CacheConfig{Capacity: 2 * *m, Block: *b},
+		Rule:  prule,
+	}
+	// One traced execution serves everything below: the grid profile and
+	// the per-processor detail both replay the recorded log.
+	res, plog, err := parallel.RunTraced(g, part, cfg, *warm, *meas)
+	if err != nil {
+		return err
+	}
+	defer plog.Close()
+	curves, err := hierarchy.ProfileShared(plog, spec)
+	if err != nil {
+		return err
+	}
+	perItem := func(n int64) float64 {
+		if res.InputItems <= 0 {
+			return 0
+		}
+		return float64(n) / float64(res.InputItems)
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("shared-L2 hierarchy misses/item and AMAT (%s, P=%d, rule=%s, designed for M=%d, B=%d, one traced run)",
+			g.Name(), *procs, prule, *m, *b),
+		"L1 (private x P)", "L2 (shared)", "L1miss/item", "L2miss/item", "AMAT")
+	for i := range spec.L1s {
+		for j := range spec.L2s {
+			m1, m2 := curves.Point(i, j)
+			tb.Add(spec.L1s[i].String(), spec.L2s[j].String(),
+				report.F(perItem(m1)), report.F(perItem(m2)), report.F(curves.AMAT(i, j, cm)))
+		}
+	}
+	if *csv {
+		return tb.RenderCSV(out)
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: trace %d accesses (%d in window) over %d items, makespan %d blocks\n",
+		prule, plog.Len(), curves.Accesses, res.InputItems, res.MakespanBlocks)
+
+	if *detail {
+		sim, err := hierarchy.SimulateSharedLog(plog, spec.Config(0, 0))
+		if err != nil {
+			return err
+		}
+		dt := report.NewTable(
+			fmt.Sprintf("per-processor breakdown at L1=%s, L2=%s (makespan %.1f, AMAT %.3f)",
+				spec.L1s[0], spec.L2s[0], sim.Makespan(cm), sim.AMAT(cm)),
+			"proc", "L1 accesses", "L1 misses", "L2 hits", "L2 misses", "cost")
+		for p := 0; p < *procs; p++ {
+			l1, l2 := sim.L1Stats(p), sim.ProcL2Stats(p)
+			dt.Add(report.I(int64(p)), report.I(l1.Accesses), report.I(l1.Misses),
+				report.I(l2.Hits), report.I(l2.Misses), report.F1(sim.ProcCost(p, cm)))
+		}
+		if err := dt.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

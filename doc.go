@@ -49,6 +49,17 @@
 // which additionally supports exclusive victim-cache mode); experiment
 // E20 cross-validates the whole grid.
 //
+// SimulateShared puts the parallel extension in front of a shared L2:
+// cfg.Procs simulated processors with private L1s whose miss streams
+// contend for one shared L2 in exactly the order the executor emitted
+// them (trace.ProcLog records per-processor streams plus the global
+// interleaving). One traced run answers a whole SharedHierSpec grid;
+// SimulateSharedPoint is the pointwise oracle (per-processor traffic,
+// per-processor cost, makespan under the AMAT ladder), SweepShared
+// compares variants differing in processor count, claiming rule
+// (ParallelHomogeneous / ParallelPipeline), and partition. Experiment E21
+// cross-validates every (schedule, P, L1, L2) point exactly.
+//
 // Subpackage workloads provides parameterised topologies of classic
 // streaming applications; cmd/experiments regenerates every experiment in
 // EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.

@@ -92,3 +92,57 @@ func BenchmarkSimulateLog(b *testing.B) {
 		}
 	}
 }
+
+// benchProcLog records a 2-processor interleaved stream of the same shape
+// as benchLog, split into per-processor block ranges with a shared hot set.
+func benchProcLog(procs int) *trace.ProcLog {
+	rng := rand.New(rand.NewSource(98))
+	pl, _ := trace.NewProcLog(procs)
+	cur := 0
+	n := 400000
+	for i := 0; i < n; i++ {
+		if rng.Intn(64) == 0 {
+			cur = rng.Intn(procs)
+		}
+		blk := int64(cur)*512 + rng.Int63n(512)
+		if rng.Intn(4) == 0 {
+			blk = rng.Int63n(16)
+		}
+		if i == 50000 {
+			pl.MarkWindow()
+		}
+		pl.Record(cur, blk)
+	}
+	return pl
+}
+
+// BenchmarkProfileShared measures the one-pass shared-L2 grid: per-proc
+// private L1 replicas for every L1 point feeding the shared L2 profilers.
+func BenchmarkProfileShared(b *testing.B) {
+	pl := benchProcLog(4)
+	hs := benchSpec()
+	spec := SharedSpec{Block: hs.Block, Procs: 4, L1s: hs.L1s, L2s: hs.L2s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileShared(pl, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSharedLog measures pointwise shared-hierarchy replay of
+// one grid point — the per-point cost ProfileShared amortises away.
+func BenchmarkSimulateSharedLog(b *testing.B) {
+	pl := benchProcLog(4)
+	cfg := SharedConfig{
+		Procs: 4,
+		L1:    lv(512, 16, 0, cachesim.LRU),
+		L2:    lv(4096, 64, 8, cachesim.LRU),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateSharedLog(pl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,14 @@
 // Exclusive hierarchies also depend on the L1's eviction stream, so they
 // are served by Sim only. Experiment E20 cross-validates every grid point
 // of the one-pass path against Sim.
+//
+// The multiprocessor analogue replaces the single L1 with P private L1s
+// feeding one shared L2 in the interleaved order a parallel run emitted
+// (trace.ProcLog): SharedSim is the exact simulator (per-processor
+// counters, attributed L2 traffic, makespan under the cost model) and
+// ProfileShared the one-pass grid evaluator — per-processor L1 replicas
+// whose merged miss stream drives the shared-L2 profilers. Experiment E21
+// cross-validates every shared grid point against SharedSim.
 package hierarchy
 
 import (

@@ -143,30 +143,34 @@ func (f *l1Filter) resetCounts() {
 	}
 }
 
-// buildFilters assembles one l1Filter per L1 design point, grouping that
-// point's L2 profilers by (block ratio, set count) so every L2
-// organisation sharing a family shares one profiling pass. The build is
-// two-phase because a FIFOProfiler's way list is fixed at construction:
-// first every family collects its demands, then the profilers are made.
-func buildFilters(spec HierSpec) []*l1Filter {
-	type family struct {
-		ratio    int64
-		sets     int64
-		lru      bool
-		fifoWays []int64
-	}
-	// The L2 grouping is identical for every L1 point; compute it once.
+// l2Family collects one (block ratio, set count) family's profiling
+// demands. The build is two-phase because a FIFOProfiler's way list is
+// fixed at construction: first every family collects its demands
+// (l2Families), then the profilers are made (newL2Groups).
+type l2Family struct {
+	ratio    int64
+	sets     int64
+	lru      bool
+	fifoWays []int64
+}
+
+// l2Families groups L2 design points by (block ratio, set count) so every
+// L2 organisation sharing a family shares one profiling pass, and returns
+// each point's slot in the grouping. The grouping depends only on the L2
+// grid, so it is shared by every L1 point (and, in the shared-L2 profiler,
+// by every processor).
+func l2Families(block int64, l2s []Level) ([]*l2Family, []l2Slot) {
 	famIdx := make(map[[2]int64]int)
-	var fams []*family
-	slots := make([]l2Slot, len(spec.L2s))
-	for j, l2 := range spec.L2s {
-		ratio := l2.Block / spec.Block
+	var fams []*l2Family
+	slots := make([]l2Slot, len(l2s))
+	for j, l2 := range l2s {
+		ratio := l2.Block / block
 		key := [2]int64{ratio, l2.Sets()}
 		fi, ok := famIdx[key]
 		if !ok {
 			fi = len(fams)
 			famIdx[key] = fi
-			fams = append(fams, &family{ratio: ratio, sets: l2.Sets()})
+			fams = append(fams, &l2Family{ratio: ratio, sets: l2.Sets()})
 		}
 		if l2.Policy == cachesim.FIFO {
 			fams[fi].fifoWays = append(fams[fi].fifoWays, l2.EffWays())
@@ -175,35 +179,76 @@ func buildFilters(spec HierSpec) []*l1Filter {
 		}
 		slots[j] = l2Slot{group: fi, ways: l2.EffWays(), fifo: l2.Policy == cachesim.FIFO}
 	}
+	return fams, slots
+}
+
+// newL2Groups instantiates one fresh set of profilers per family.
+func newL2Groups(fams []*l2Family) []*l2Group {
+	groups := make([]*l2Group, len(fams))
+	for fi, fam := range fams {
+		g := &l2Group{ratio: fam.ratio}
+		if fam.lru {
+			g.assoc = trace.NewAssocProfiler(fam.sets)
+		}
+		if len(fam.fifoWays) > 0 {
+			g.fifo = trace.NewFIFOProfiler(fam.sets, fam.fifoWays)
+		}
+		groups[fi] = g
+	}
+	return groups
+}
+
+// l2MissRow finalises the groups' profilers into curves (idempotent
+// across filters sharing nothing — each filter owns its groups) and
+// extracts one filter's L2 miss counts, in L2-spec order. Shared by the
+// uniprocessor (l1Filter) and shared-L2 (sharedFilter) profilers.
+func l2MissRow(groups []*l2Group, slots []l2Slot) ([]int64, error) {
+	for _, g := range groups {
+		if g.assoc != nil && g.assocCurve == nil {
+			g.assocCurve = g.assoc.Curve()
+		}
+		if g.fifo != nil && g.fifoCurve == nil {
+			g.fifoCurve = g.fifo.Curve()
+		}
+	}
+	row := make([]int64, len(slots))
+	for j, slot := range slots {
+		g := groups[slot.group]
+		if slot.fifo {
+			m, ok := g.fifoCurve.Misses(slot.ways)
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: internal: L2 point %d FIFO ways %d not replayed", j, slot.ways)
+			}
+			row[j] = m
+		} else {
+			row[j] = g.assocCurve.Misses(slot.ways)
+		}
+	}
+	return row, nil
+}
+
+// buildFilters assembles one l1Filter per L1 design point.
+func buildFilters(spec HierSpec) []*l1Filter {
+	fams, slots := l2Families(spec.Block, spec.L2s)
 	filters := make([]*l1Filter, len(spec.L1s))
 	for i, l1 := range spec.L1s {
-		f := &l1Filter{
-			bank:  l1.bank(),
-			slots: slots,
+		filters[i] = &l1Filter{
+			bank:   l1.bank(),
+			slots:  slots,
+			groups: newL2Groups(fams),
 		}
-		f.groups = make([]*l2Group, len(fams))
-		for fi, fam := range fams {
-			g := &l2Group{ratio: fam.ratio}
-			if fam.lru {
-				g.assoc = trace.NewAssocProfiler(fam.sets)
-			}
-			if len(fam.fifoWays) > 0 {
-				g.fifo = trace.NewFIFOProfiler(fam.sets, fam.fifoWays)
-			}
-			f.groups[fi] = g
-		}
-		filters[i] = f
 	}
 	return filters
 }
 
-// ProfileHier evaluates the whole (L1, L2) grid from one recorded log.
-// The log is replayed twice, never re-recorded: once through
-// trace.ProfileOrgs for the exact L1 curves, once through the per-point L1
-// filters whose miss streams drive the L2 profilers. Both replays honour
-// the log's measured window, and the filters' own windowed miss counts are
-// cross-checked against the ProfileOrgs curves — two independent
-// implementations of every L1 point agreeing access for access.
+// ProfileHier evaluates the whole (L1, L2) grid from one recorded log in
+// a single replay: the organisation profilers (exact L1 curves) and the
+// per-point L1 filters (whose miss streams drive the L2 profilers) ride
+// the same ForEach, so a spilled trace is read off disk exactly once. The
+// replay honours the log's measured window, and the filters' windowed miss
+// counts are cross-checked against the organisation curves — two
+// independent implementations of every L1 point agreeing access for
+// access.
 func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -226,18 +271,20 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 			orgSpecs[idx].FIFOWays = append(orgSpecs[idx].FIFOWays, l1.EffWays())
 		}
 	}
-	orgCurves, err := trace.ProfileOrgs(l, orgSpecs)
+	orgProfs, err := trace.NewOrgProfilers(orgSpecs)
 	if err != nil {
 		return nil, err
 	}
 
-	// L2 curves from the filtered miss streams.
+	// One pass drives both the L1 curves and the filtered L2 profilers.
 	filters := buildFilters(spec)
 	err = l.ForEachWindowed(func() {
+		orgProfs.ResetCounts()
 		for _, f := range filters {
 			f.resetCounts()
 		}
 	}, func(blk int64) {
+		orgProfs.Touch(blk)
 		for _, f := range filters {
 			f.touch(blk)
 		}
@@ -245,16 +292,7 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range filters {
-		for _, g := range f.groups {
-			if g.assoc != nil {
-				g.assocCurve = g.assoc.Curve()
-			}
-			if g.fifo != nil {
-				g.fifoCurve = g.fifo.Curve()
-			}
-		}
-	}
+	orgCurves := orgProfs.Curves()
 
 	out := &HierCurves{
 		Spec:     spec,
@@ -277,18 +315,9 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 				pi, filters[pi].misses, misses)
 		}
 		out.L1Misses[pi] = misses
-		out.L2Misses[pi] = make([]int64, len(spec.L2s))
-		for j, slot := range filters[pi].slots {
-			g := filters[pi].groups[slot.group]
-			if slot.fifo {
-				m, ok := g.fifoCurve.Misses(slot.ways)
-				if !ok {
-					return nil, fmt.Errorf("hierarchy: internal: L2 point %d FIFO ways %d not replayed", j, slot.ways)
-				}
-				out.L2Misses[pi][j] = m
-			} else {
-				out.L2Misses[pi][j] = g.assocCurve.Misses(slot.ways)
-			}
+		out.L2Misses[pi], err = l2MissRow(filters[pi].groups, filters[pi].slots)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

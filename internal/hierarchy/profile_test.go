@@ -118,6 +118,34 @@ func TestProfileHierSpillIdentical(t *testing.T) {
 	}
 }
 
+// TestProfileHierSinglePass is the replay-I/O regression test: the whole
+// (L1, L2) grid — organisation curves and filtered L2 profiles — must
+// cost exactly one decode of the trace. On a spilled trace every replay
+// is a full re-read of the spill file, so a second pass would double the
+// profiling path's disk I/O.
+func TestProfileHierSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	blocks := stream(rng, 300000, 500)
+	spilled := trace.NewLog()
+	spilled.SetSpillThreshold(1 << 12)
+	for i, blk := range blocks {
+		if i == 4000 {
+			spilled.MarkWindow()
+		}
+		spilled.RecordBlock(blk)
+	}
+	defer spilled.Close()
+	if !spilled.Spilled() {
+		t.Fatal("spill threshold never triggered; the test is vacuous")
+	}
+	if _, err := ProfileHier(spilled, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if got := spilled.Replays(); got != 1 {
+		t.Errorf("ProfileHier paid %d trace replays, want 1", got)
+	}
+}
+
 func TestHierSpecValidate(t *testing.T) {
 	ok := testSpec()
 	if err := ok.Validate(); err != nil {

@@ -12,6 +12,12 @@
 // executions are atomic, which models the coarse-grained locking the
 // half-full/empty-full claiming rules are designed to permit. Processors
 // prefer re-claiming the component they ran last (cache affinity).
+//
+// Runs can emit their traces: RunTraced tags every block access with the
+// executing processor and records the global interleaving into a
+// trace.ProcLog — the input of the shared-L2 hierarchy paths (RunShared,
+// MeasureShared), where all private-L1 miss streams contend for one shared
+// L2 in exactly the recorded order.
 package parallel
 
 import (
@@ -23,11 +29,44 @@ import (
 	"streamsched/internal/partition"
 	"streamsched/internal/schedule"
 	"streamsched/internal/sdf"
+	"streamsched/internal/trace"
 )
 
 // ErrDeadlock is returned when no component is schedulable before the
 // target is reached.
 var ErrDeadlock = errors.New("parallel: no schedulable component")
+
+// Rule selects the claiming rule a run uses. The zero value picks by graph
+// shape, matching the uniprocessor partitioned schedulers.
+type Rule int
+
+const (
+	// AutoRule picks HomogeneousRule for homogeneous dags, PipelineRule
+	// for pipelines. A uniform pipeline is both; homogeneous wins, as in
+	// streamsched.SimulateParallel.
+	AutoRule Rule = iota
+	// HomogeneousRule is the empty-full batching rule: a component is
+	// claimable when every inbound cross buffer holds a full batch and
+	// every outbound cross buffer is empty.
+	HomogeneousRule
+	// PipelineRule is the half-full rule: a segment is claimable when its
+	// input is more than half full and its output at most half full.
+	PipelineRule
+)
+
+// String returns the rule name.
+func (r Rule) String() string {
+	switch r {
+	case AutoRule:
+		return "auto"
+	case HomogeneousRule:
+		return "homogeneous"
+	case PipelineRule:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
 
 // Config describes a simulated multiprocessor run.
 type Config struct {
@@ -35,11 +74,15 @@ type Config struct {
 	Procs int
 	// Env carries M (component bound, batch size) and B.
 	Env schedule.Env
-	// Cache is the per-processor private cache configuration.
+	// Cache is the per-processor private cache configuration. Its block
+	// size is also the granularity recorded traces use.
 	Cache cachesim.Config
+	// Rule selects the claiming rule; AutoRule picks by graph shape.
+	Rule Rule
 }
 
-// Result summarises a parallel run.
+// Result summarises a parallel run (for RunTraced and the shared paths,
+// the measured window of one).
 type Result struct {
 	Procs       int
 	PerProc     []cachesim.Stats
@@ -58,84 +101,32 @@ type Result struct {
 // simulated processors until the source has fired at least target times.
 // When p is nil, partition.Auto(g, M) is used.
 func RunHomogeneous(g *sdf.Graph, p *partition.Partition, cfg Config, target int64) (*Result, error) {
-	if !g.IsHomogeneous() {
-		return nil, fmt.Errorf("parallel: %s is not homogeneous", g.Name())
-	}
-	st, err := newState(g, p, cfg, schedule.PartitionedHomogeneous{})
+	cfg.Rule = HomogeneousRule
+	st, err := newState(g, p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	t := cfg.Env.M
-	return st.drive(target, func(c int) bool {
-		for _, e := range st.inCross[c] {
-			if st.m.Buf(e).Len() < t {
-				return false
-			}
-		}
-		for _, e := range st.outCross[c] {
-			if st.m.Buf(e).Len() != 0 {
-				return false
-			}
-		}
-		return true
-	}, func(c int) error {
-		for round := int64(0); round < t; round++ {
-			for _, v := range st.members[c] {
-				if err := st.m.Fire(v); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	})
+	return st.run(target)
 }
 
 // RunPipeline executes a pipeline under partition p on cfg.Procs simulated
 // processors with the half-full claiming rule.
 func RunPipeline(g *sdf.Graph, p *partition.Partition, cfg Config, target int64) (*Result, error) {
-	if !g.IsPipeline() {
-		return nil, fmt.Errorf("parallel: %s is not a pipeline", g.Name())
-	}
-	st, err := newState(g, p, cfg, schedule.PartitionedPipeline{})
+	cfg.Rule = PipelineRule
+	st, err := newState(g, p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	src := g.Source()
-	return st.drive(target, func(c int) bool {
-		// Input more than half full (or external for the first segment) and
-		// output at most half full (or the sink).
-		if len(st.inCross[c]) == 1 {
-			buf := st.m.Buf(st.inCross[c][0])
-			if 2*buf.Len() <= buf.Cap() {
-				return false
-			}
-		}
-		if len(st.outCross[c]) == 1 {
-			buf := st.m.Buf(st.outCross[c][0])
-			if 2*buf.Len() > buf.Cap() {
-				return false
-			}
-		}
-		return true
-	}, func(c int) error {
-		for {
-			progress := false
-			for _, v := range st.members[c] {
-				for st.m.CanFire(v) {
-					if v == src && st.m.SourceFirings() >= st.target {
-						break
-					}
-					if err := st.m.Fire(v); err != nil {
-						return err
-					}
-					progress = true
-				}
-			}
-			if !progress {
-				return nil
-			}
-		}
-	})
+	return st.run(target)
+}
+
+// Run executes g under cfg's claiming rule (AutoRule picks by shape).
+func Run(g *sdf.Graph, p *partition.Partition, cfg Config, target int64) (*Result, error) {
+	st, err := newState(g, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return st.run(target)
 }
 
 // state is the shared simulation state.
@@ -149,13 +140,53 @@ type state struct {
 	outCross [][]sdf.EdgeID
 	caches   []*cachesim.Cache
 	target   int64
+
+	// Scheduling state persists across drive calls so a warm phase and a
+	// measured phase form one continuous run.
+	clock    []int64
+	lastComp []int
+	execs    []int64
+
+	schedulable func(int) bool
+	execute     func(int) error
 }
 
-func newState(g *sdf.Graph, p *partition.Partition, cfg Config, planner schedule.Scheduler) (*state, error) {
+// resolveRule maps AutoRule to the graph's shape.
+func resolveRule(g *sdf.Graph, r Rule) (Rule, error) {
+	switch r {
+	case HomogeneousRule:
+		if !g.IsHomogeneous() {
+			return 0, fmt.Errorf("parallel: %s is not homogeneous", g.Name())
+		}
+		return r, nil
+	case PipelineRule:
+		if !g.IsPipeline() {
+			return 0, fmt.Errorf("parallel: %s is not a pipeline", g.Name())
+		}
+		return r, nil
+	case AutoRule:
+		switch {
+		case g.IsHomogeneous():
+			return HomogeneousRule, nil
+		case g.IsPipeline():
+			return PipelineRule, nil
+		default:
+			return 0, fmt.Errorf("parallel: %s is neither homogeneous nor a pipeline", g.Name())
+		}
+	default:
+		return 0, fmt.Errorf("parallel: unknown rule %d", int(r))
+	}
+}
+
+func newState(g *sdf.Graph, p *partition.Partition, cfg Config) (*state, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("parallel: need >= 1 processor, got %d", cfg.Procs)
 	}
-	var err error
+	rule, err := resolveRule(g, cfg.Rule)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Rule = rule
 	if p == nil {
 		p, err = partition.Auto(g, cfg.Env.M)
 		if err != nil {
@@ -164,15 +195,11 @@ func newState(g *sdf.Graph, p *partition.Partition, cfg Config, planner schedule
 	}
 	// Reuse the uniprocessor scheduler's buffer sizing.
 	var plan *schedule.Plan
-	switch pl := planner.(type) {
-	case schedule.PartitionedHomogeneous:
-		pl.P = p
-		plan, err = pl.Prepare(g, cfg.Env)
-	case schedule.PartitionedPipeline:
-		pl.P = p
-		plan, err = pl.Prepare(g, cfg.Env)
-	default:
-		err = fmt.Errorf("parallel: unsupported planner %T", planner)
+	switch rule {
+	case HomogeneousRule:
+		plan, err = schedule.PartitionedHomogeneous{P: p}.Prepare(g, cfg.Env)
+	case PipelineRule:
+		plan, err = schedule.PartitionedPipeline{P: p}.Prepare(g, cfg.Env)
 	}
 	if err != nil {
 		return nil, err
@@ -198,70 +225,248 @@ func newState(g *sdf.Graph, p *partition.Partition, cfg Config, planner schedule
 			return nil, err
 		}
 	}
+	st.clock = make([]int64, cfg.Procs)
+	st.lastComp = make([]int, cfg.Procs)
+	st.execs = make([]int64, cfg.Procs)
+	for i := range st.lastComp {
+		st.lastComp[i] = -1
+	}
+	switch rule {
+	case HomogeneousRule:
+		st.setHomogeneousRule()
+	case PipelineRule:
+		st.setPipelineRule()
+	}
 	return st, nil
+}
+
+// setHomogeneousRule installs the empty-full batching rule.
+func (st *state) setHomogeneousRule() {
+	t := st.cfg.Env.M
+	st.schedulable = func(c int) bool {
+		for _, e := range st.inCross[c] {
+			if st.m.Buf(e).Len() < t {
+				return false
+			}
+		}
+		for _, e := range st.outCross[c] {
+			if st.m.Buf(e).Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	st.execute = func(c int) error {
+		for round := int64(0); round < t; round++ {
+			for _, v := range st.members[c] {
+				if err := st.m.Fire(v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// setPipelineRule installs the half-full claiming rule.
+func (st *state) setPipelineRule() {
+	src := st.g.Source()
+	st.schedulable = func(c int) bool {
+		// Input more than half full (or external for the first segment) and
+		// output at most half full (or the sink).
+		if len(st.inCross[c]) == 1 {
+			buf := st.m.Buf(st.inCross[c][0])
+			if 2*buf.Len() <= buf.Cap() {
+				return false
+			}
+		}
+		if len(st.outCross[c]) == 1 {
+			buf := st.m.Buf(st.outCross[c][0])
+			if 2*buf.Len() > buf.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	st.execute = func(c int) error {
+		for {
+			progress := false
+			for _, v := range st.members[c] {
+				for st.m.CanFire(v) {
+					if v == src && st.m.SourceFirings() >= st.target {
+						break
+					}
+					if err := st.m.Fire(v); err != nil {
+						return err
+					}
+					progress = true
+				}
+			}
+			if !progress {
+				return nil
+			}
+		}
+	}
+}
+
+// run drives to target source firings and summarises the whole run.
+func (st *state) run(target int64) (*Result, error) {
+	if err := st.drive(target); err != nil {
+		return nil, err
+	}
+	if err := st.m.CheckConservation(); err != nil {
+		return nil, err
+	}
+	return st.summarise(snapshot{}), nil
 }
 
 // drive runs the greedy list-scheduling loop: the least-loaded processor
 // claims a schedulable component (preferring its previous one for cache
-// affinity) and executes it atomically on its private cache.
-func (st *state) drive(target int64, schedulable func(int) bool, execute func(int) error) (*Result, error) {
+// affinity) and executes it atomically on its private cache. It may be
+// called repeatedly with increasing targets; scheduling state carries
+// over, so warm-then-measure is one continuous run.
+func (st *state) drive(target int64) error {
 	st.target = target
-	clock := make([]int64, st.cfg.Procs)
-	lastComp := make([]int, st.cfg.Procs)
-	execs := make([]int64, st.cfg.Procs)
-	for i := range lastComp {
-		lastComp[i] = -1
-	}
-	items0 := st.m.InputItems()
 	for st.m.SourceFirings() < target {
 		// Least-loaded processor claims next.
 		proc := 0
-		for i := 1; i < len(clock); i++ {
-			if clock[i] < clock[proc] {
+		for i := 1; i < len(st.clock); i++ {
+			if st.clock[i] < st.clock[proc] {
 				proc = i
 			}
 		}
 		comp := -1
-		if lastComp[proc] >= 0 && schedulable(lastComp[proc]) {
-			comp = lastComp[proc]
+		if st.lastComp[proc] >= 0 && st.schedulable(st.lastComp[proc]) {
+			comp = st.lastComp[proc]
 		} else {
 			for c := 0; c < st.p.K; c++ {
-				if schedulable(c) {
+				if st.schedulable(c) {
 					comp = c
 					break
 				}
 			}
 		}
 		if comp < 0 {
-			return nil, fmt.Errorf("%w: at %d source firings", ErrDeadlock, st.m.SourceFirings())
+			return fmt.Errorf("%w: at %d source firings", ErrDeadlock, st.m.SourceFirings())
 		}
 		cache := st.caches[proc]
 		st.m.SetCache(cache)
 		before := cache.Stats().Misses
-		if err := execute(comp); err != nil {
-			return nil, err
+		if err := st.execute(comp); err != nil {
+			return err
 		}
-		clock[proc] += cache.Stats().Misses - before
-		lastComp[proc] = comp
-		execs[proc]++
+		st.clock[proc] += cache.Stats().Misses - before
+		st.lastComp[proc] = comp
+		st.execs[proc]++
 	}
+	return nil
+}
+
+// snapshot captures the counters a measured window is diffed against.
+type snapshot struct {
+	misses      []int64 // per-proc miss counts (nil: from zero)
+	execs       []int64
+	sourceFired int64
+	inputItems  int64
+}
+
+// take snapshots the current counters.
+func (st *state) take() snapshot {
+	s := snapshot{
+		misses:      make([]int64, len(st.caches)),
+		execs:       append([]int64(nil), st.execs...),
+		sourceFired: st.m.SourceFirings(),
+		inputItems:  st.m.InputItems(),
+	}
+	for i, c := range st.caches {
+		s.misses[i] = c.Stats().Misses
+	}
+	return s
+}
+
+// summarise builds a Result for everything since the snapshot (a zero
+// snapshot means the whole run). Per-processor Stats are cumulative (cache
+// stats are not windowed); the miss-derived aggregates are diffed.
+func (st *state) summarise(since snapshot) *Result {
 	res := &Result{
 		Procs:       st.cfg.Procs,
 		PerProc:     make([]cachesim.Stats, st.cfg.Procs),
-		Executions:  execs,
-		SourceFired: st.m.SourceFirings(),
-		InputItems:  st.m.InputItems() - items0,
+		Executions:  make([]int64, st.cfg.Procs),
+		SourceFired: st.m.SourceFirings() - since.sourceFired,
+		InputItems:  st.m.InputItems() - since.inputItems,
 	}
 	for i, c := range st.caches {
 		res.PerProc[i] = c.Stats()
-		res.TotalMisses += c.Stats().Misses
-		res.BusyBlocks += c.Stats().Misses
-		if c.Stats().Misses > res.MakespanBlocks {
-			res.MakespanBlocks = c.Stats().Misses
+		m := c.Stats().Misses
+		if since.misses != nil {
+			m -= since.misses[i]
+		}
+		res.Executions[i] = st.execs[i]
+		if since.execs != nil {
+			res.Executions[i] -= since.execs[i]
+		}
+		res.TotalMisses += m
+		res.BusyBlocks += m
+		if m > res.MakespanBlocks {
+			res.MakespanBlocks = m
 		}
 	}
-	if err := st.m.CheckConservation(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return res
 }
+
+// RunTraced executes g under cfg for warm source firings, marks the
+// measured window, and executes measured more, recording every block
+// access — tagged with its processor, in global emission order — into a
+// trace.ProcLog. The returned Result summarises the measured window. The
+// interleaving is decided by the executor's private-cache clocks alone, so
+// it is independent of whatever hierarchy the trace is later evaluated
+// against — which is what lets one trace answer a whole (L1, L2) grid
+// exactly. The caller owns the log (Close it if it may have spilled).
+func RunTraced(g *sdf.Graph, p *partition.Partition, cfg Config, warm, measured int64) (*Result, *trace.ProcLog, error) {
+	if measured <= 0 {
+		return nil, nil, fmt.Errorf("parallel: measured window must be positive, got %d", measured)
+	}
+	st, err := newState(g, p, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	plog, err := trace.NewProcLog(cfg.Procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	plog.SetSpillThreshold(traceSpillBytes)
+	// On any failure the log is not handed to the caller, so its spill
+	// file (if the trace grew past the threshold) must be released here.
+	fail := func(err error) (*Result, *trace.ProcLog, error) {
+		plog.Close()
+		return nil, nil, err
+	}
+	for i := range st.caches {
+		proc := i
+		st.caches[i].SetObserver(func(blk int64) { plog.Record(proc, blk) })
+	}
+	if warm > 0 {
+		if err := st.drive(warm); err != nil {
+			return fail(err)
+		}
+	}
+	plog.MarkWindow()
+	since := st.take()
+	// Target relative to where warmup actually stopped: batch executions
+	// overshoot their source-firing targets, and the overshoot must not
+	// eat into the measured window.
+	if err := st.drive(st.m.SourceFirings() + measured); err != nil {
+		return fail(err)
+	}
+	if err := st.m.CheckConservation(); err != nil {
+		return fail(err)
+	}
+	if err := plog.Err(); err != nil {
+		return fail(err)
+	}
+	return st.summarise(since), plog, nil
+}
+
+// traceSpillBytes caps the in-memory encoding of recorded parallel traces,
+// matching the uniprocessor curve paths' threshold.
+const traceSpillBytes = 64 << 20

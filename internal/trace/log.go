@@ -40,6 +40,7 @@ type Log struct {
 	spilled  int64 // bytes written to the spill file
 	dropped  bool  // Close released spilled data; the log is unreadable
 	err      error // first spill I/O error, reported by ForEach/Close
+	replays  int64 // completed end-to-end decodes (ForEach calls)
 
 	scratch [binary.MaxVarintLen64]byte
 }
@@ -140,6 +141,12 @@ func (l *Log) Spilled() bool { return l.spilled > 0 }
 // long-running recorders can poll Err to abort early.
 func (l *Log) Err() error { return l.err }
 
+// Replays returns how many times the trace has been decoded end to end —
+// the replay I/O a profiling path paid. Single-pass regression tests
+// assert on it: on a spilled trace every replay is a full re-read of the
+// spill file.
+func (l *Log) Replays() int64 { return l.replays }
+
 // ForEach replays every recorded access in order. It may be called
 // repeatedly; the log remains appendable afterwards.
 func (l *Log) ForEach(fn func(blk int64)) error {
@@ -179,6 +186,9 @@ func (l *Log) ForEach(fn func(blk int64)) error {
 		dec.feed(c)
 	}
 	dec.feed(l.cur)
+	if dec.err == nil {
+		l.replays++
+	}
 	return dec.err
 }
 

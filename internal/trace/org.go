@@ -111,6 +111,69 @@ func (o *OrgCurves) Misses(ways int64, fifo bool) (n int64, ok bool) {
 	return o.LRU.Misses(ways), true
 }
 
+// OrgProfilers is the incremental form of ProfileOrgs: every
+// organisation's profilers behind one Touch, so a caller that drives other
+// per-access state off the same replay (the hierarchy profiler's L1
+// filters) can share a single trace decode instead of replaying once per
+// consumer.
+type OrgProfilers struct {
+	specs []OrgSpec
+	assoc []*AssocProfiler
+	fifo  []*FIFOProfiler
+}
+
+// NewOrgProfilers validates the specs and builds their profilers.
+func NewOrgProfilers(specs []OrgSpec) (*OrgProfilers, error) {
+	p := &OrgProfilers{
+		specs: specs,
+		assoc: make([]*AssocProfiler, len(specs)),
+		fifo:  make([]*FIFOProfiler, len(specs)),
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		p.assoc[i] = NewAssocProfiler(s.Sets)
+		if len(s.FIFOWays) > 0 {
+			p.fifo[i] = NewFIFOProfiler(s.Sets, s.FIFOWays)
+		}
+	}
+	return p, nil
+}
+
+// ResetCounts starts the measured window: histograms and miss counters
+// reset, warm stack state kept.
+func (p *OrgProfilers) ResetCounts() {
+	for i := range p.specs {
+		p.assoc[i].ResetCounts()
+		if p.fifo[i] != nil {
+			p.fifo[i].ResetCounts()
+		}
+	}
+}
+
+// Touch feeds one access to every organisation's profilers.
+func (p *OrgProfilers) Touch(blk int64) {
+	for j := range p.assoc {
+		p.assoc[j].Touch(blk)
+		if p.fifo[j] != nil {
+			p.fifo[j].Touch(blk)
+		}
+	}
+}
+
+// Curves extracts the profiles, in spec order.
+func (p *OrgProfilers) Curves() []*OrgCurves {
+	out := make([]*OrgCurves, len(p.specs))
+	for j, s := range p.specs {
+		out[j] = &OrgCurves{Spec: s, LRU: p.assoc[j].Curve()}
+		if p.fifo[j] != nil {
+			out[j].FIFO = p.fifo[j].Curve()
+		}
+	}
+	return out
+}
+
 // ProfileOrgs replays the log once and feeds every organisation's
 // profilers from that single pass, honouring the log's measured window
 // (accesses before WindowStart warm the caches but are not counted). The
@@ -118,42 +181,12 @@ func (o *OrgCurves) Misses(ways int64, fifo bool) (n int64, ok bool) {
 // the number of specs, but the trace — the expensive part, one scheduled
 // execution — is recorded and decoded exactly once.
 func ProfileOrgs(l *Log, specs []OrgSpec) ([]*OrgCurves, error) {
-	assoc := make([]*AssocProfiler, len(specs))
-	fifo := make([]*FIFOProfiler, len(specs))
-	for i, s := range specs {
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("spec %d: %w", i, err)
-		}
-		assoc[i] = NewAssocProfiler(s.Sets)
-		if len(s.FIFOWays) > 0 {
-			fifo[i] = NewFIFOProfiler(s.Sets, s.FIFOWays)
-		}
-	}
-	reset := func() {
-		for i := range specs {
-			assoc[i].ResetCounts()
-			if fifo[i] != nil {
-				fifo[i].ResetCounts()
-			}
-		}
-	}
-	err := l.ForEachWindowed(reset, func(blk int64) {
-		for j := range assoc {
-			assoc[j].Touch(blk)
-			if fifo[j] != nil {
-				fifo[j].Touch(blk)
-			}
-		}
-	})
+	p, err := NewOrgProfilers(specs)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*OrgCurves, len(specs))
-	for j, s := range specs {
-		out[j] = &OrgCurves{Spec: s, LRU: assoc[j].Curve()}
-		if fifo[j] != nil {
-			out[j].FIFO = fifo[j].Curve()
-		}
+	if err := l.ForEachWindowed(p.ResetCounts, p.Touch); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return p.Curves(), nil
 }

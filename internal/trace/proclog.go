@@ -1,0 +1,136 @@
+package trace
+
+import "fmt"
+
+// ProcLog is a multi-processor trace: P per-processor block-access streams
+// together with the global order in which the parallel executor interleaved
+// them. It is the input of the shared-hierarchy profiler
+// (internal/hierarchy.ProfileShared): private-L1 behaviour depends only on
+// each processor's own stream, but a shared L2's contents depend on how
+// the processors' miss streams interleave, so the global order is part of
+// the trace, not an artifact of it.
+//
+// Representation: the interleaved stream is stored in one Log (so the
+// delta-varint encoding and disk spilling are inherited wholesale), plus a
+// run-length list of (processor, count) runs. Parallel execution is atomic
+// per component execution, so the interleaving is long single-processor
+// runs and the run list stays tiny — one entry per processor switch, not
+// per access.
+//
+// A ProcLog records a single logical run. MarkWindow splits it into a
+// warmup prefix and a measured window at a global position, mirroring
+// Log.MarkWindow. The zero value is not usable; construct with NewProcLog.
+// ProcLog is not safe for concurrent use — the parallel executor is a
+// deterministic single-threaded simulation, which is also what makes the
+// recorded interleaving reproducible.
+type ProcLog struct {
+	procs int
+	log   *Log
+	runs  []procRun
+	perN  []int64 // accesses recorded per processor
+}
+
+// procRun is one maximal single-processor stretch of the global order.
+type procRun struct {
+	proc int
+	n    int64
+}
+
+// NewProcLog returns an empty trace for procs processors.
+func NewProcLog(procs int) (*ProcLog, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("trace: ProcLog needs >= 1 processor, got %d", procs)
+	}
+	return &ProcLog{procs: procs, log: NewLog(), perN: make([]int64, procs)}, nil
+}
+
+// SetSpillThreshold forwards to the underlying Log: sealed chunks of the
+// interleaved stream spill to disk past limit bytes. Must be called before
+// recording starts.
+func (pl *ProcLog) SetSpillThreshold(limit int64) { pl.log.SetSpillThreshold(limit) }
+
+// Record appends one access by processor proc to the global order.
+func (pl *ProcLog) Record(proc int, blk int64) {
+	if proc < 0 || proc >= pl.procs {
+		panic(fmt.Sprintf("trace: ProcLog.Record processor %d out of [0,%d)", proc, pl.procs))
+	}
+	if n := len(pl.runs); n > 0 && pl.runs[n-1].proc == proc {
+		pl.runs[n-1].n++
+	} else {
+		pl.runs = append(pl.runs, procRun{proc: proc, n: 1})
+	}
+	pl.perN[proc]++
+	pl.log.RecordBlock(blk)
+}
+
+// Recorder returns proc's view of the trace as a plain Recorder, the shape
+// a per-processor cache observer tap wants.
+func (pl *ProcLog) Recorder(proc int) Recorder {
+	return RecorderFunc(func(blk int64) { pl.Record(proc, blk) })
+}
+
+// Procs returns the processor count the trace was recorded with.
+func (pl *ProcLog) Procs() int { return pl.procs }
+
+// Len returns the total number of recorded accesses.
+func (pl *ProcLog) Len() int64 { return pl.log.Len() }
+
+// ProcLen returns the number of accesses processor proc recorded.
+func (pl *ProcLog) ProcLen(proc int) int64 { return pl.perN[proc] }
+
+// Runs returns the number of maximal single-processor runs — the length of
+// the interleaving's run-length encoding.
+func (pl *ProcLog) Runs() int { return len(pl.runs) }
+
+// MarkWindow marks the current global position as the start of the
+// measured window.
+func (pl *ProcLog) MarkWindow() { pl.log.MarkWindow() }
+
+// WindowStart returns the global index of the first measured access.
+func (pl *ProcLog) WindowStart() int64 { return pl.log.WindowStart() }
+
+// EncodedBytes returns the encoded size of the interleaved stream.
+func (pl *ProcLog) EncodedBytes() int64 { return pl.log.EncodedBytes() }
+
+// Spilled reports whether any part of the trace lives on disk.
+func (pl *ProcLog) Spilled() bool { return pl.log.Spilled() }
+
+// Replays returns how many times the trace has been decoded end to end.
+func (pl *ProcLog) Replays() int64 { return pl.log.Replays() }
+
+// Err returns the first spill I/O error, if any.
+func (pl *ProcLog) Err() error { return pl.log.Err() }
+
+// Close releases the spill file, if any; a spilled trace cannot be
+// replayed afterwards.
+func (pl *ProcLog) Close() error { return pl.log.Close() }
+
+// ForEach replays every access in global order, tagged with the recording
+// processor. It may be called repeatedly.
+func (pl *ProcLog) ForEach(fn func(proc int, blk int64)) error {
+	run, left := 0, int64(0)
+	return pl.log.ForEach(func(blk int64) {
+		for left == 0 {
+			left = pl.runs[run].n
+			run++
+		}
+		left--
+		fn(pl.runs[run-1].proc, blk)
+	})
+}
+
+// ForEachWindowed replays like ForEach, invoking reset exactly when the
+// measured window begins. The window semantics (mid-stream reset,
+// reset-once at the end for an empty window) are Log.ForEachWindowed's —
+// this only layers the processor tagging on top.
+func (pl *ProcLog) ForEachWindowed(reset func(), touch func(proc int, blk int64)) error {
+	run, left := 0, int64(0)
+	return pl.log.ForEachWindowed(reset, func(blk int64) {
+		for left == 0 {
+			left = pl.runs[run].n
+			run++
+		}
+		left--
+		touch(pl.runs[run-1].proc, blk)
+	})
+}

@@ -28,7 +28,13 @@
 //     exact FIFO misses at each requested way count (FIFOCurve).
 //   - ProfileOrgs drives any number of organisations' profilers from a
 //     single replay of a recorded log, so one trace per scheduler answers
-//     every (capacity, ways, policy) robustness question.
+//     every (capacity, ways, policy) robustness question; OrgProfilers is
+//     its incremental form for callers sharing the replay with other
+//     per-access state (the hierarchy profilers).
+//   - ProcLog is the multiprocessor trace: per-processor access streams
+//     plus the global interleaving order a parallel run emitted them in,
+//     run-length encoded over one spillable Log — the input of the
+//     shared-L2 hierarchy paths.
 //   - Sweep runs a pool of profiling jobs (schedulers x workloads) on a
 //     bounded number of goroutines.
 package trace

@@ -88,6 +88,39 @@ type (
 	HierCostModel = hierarchy.CostModel
 	// HierResult is a measured run profiled into an (L1, L2) miss grid.
 	HierResult = schedule.HierResult
+	// ParallelRule selects a parallel run's claiming rule (auto,
+	// homogeneous batching, or the pipeline half-full rule).
+	ParallelRule = parallel.Rule
+	// SharedHierConfig describes a P-processor shared-L2 hierarchy:
+	// private per-processor L1s, one shared L2; see SimulateSharedPoint.
+	SharedHierConfig = hierarchy.SharedConfig
+	// SharedHierSpec is an (L1, L2) grid evaluated against one recorded
+	// multiprocessor trace; see SimulateShared.
+	SharedHierSpec = hierarchy.SharedSpec
+	// SharedHierCurves is the profile of one interleaved trace under a
+	// SharedHierSpec: exact per-processor L1 and shared-L2 miss counts at
+	// every grid point.
+	SharedHierCurves = hierarchy.SharedCurves
+	// SharedRunResult is one pointwise shared-hierarchy measurement:
+	// per-processor per-level stats, makespan, and AMAT.
+	SharedRunResult = parallel.SharedResult
+	// SharedMeasureResult is a recorded parallel run profiled into a
+	// shared (L1, L2) miss grid.
+	SharedMeasureResult = parallel.SharedMeasureResult
+	// SharedVariant names one SweepShared configuration (partition +
+	// parallel run config).
+	SharedVariant = parallel.SharedVariant
+)
+
+// Claiming rules for ParallelConfig.Rule.
+const (
+	// ParallelAuto picks the claiming rule by graph shape (homogeneous
+	// wins for uniform pipelines, matching SimulateParallel).
+	ParallelAuto = parallel.AutoRule
+	// ParallelHomogeneous is the empty-full batching rule.
+	ParallelHomogeneous = parallel.HomogeneousRule
+	// ParallelPipeline is the half-full pipeline rule.
+	ParallelPipeline = parallel.PipelineRule
 )
 
 // Inclusion modes for HierConfig.
@@ -323,6 +356,49 @@ func SimulateParallel(g *Graph, p *Partition, cfg ParallelConfig, target int64) 
 	default:
 		return nil, fmt.Errorf("streamsched: parallel execution supports homogeneous dags and pipelines, not %s", g.Name())
 	}
+}
+
+// SimulateShared is the shared-L2 analogue of SimulateHier for the
+// parallel extension: one traced multiprocessor run of g (cfg.Procs
+// processors, private design caches, the claiming rule of cfg.Rule) is
+// profiled into exact shared-hierarchy miss counts for every (L1, L2)
+// grid point of spec at once. Every processor gets a private replica of
+// each L1 design point; the interleaved L1 miss streams — in the order
+// the executor emitted them — drive the shared-L2 profilers, so the grid
+// captures the contention the schedule's interleaving actually produces:
+//
+//	spec := streamsched.SharedHierSpec{
+//		Block: env.B, // spec.Procs defaults to cfg.Procs
+//		L1s:   []streamsched.HierLevel{{Capacity: 256, Block: env.B}},
+//		L2s:   []streamsched.HierLevel{{Capacity: 4096, Block: env.B}},
+//	}
+//	mr, _ := streamsched.SimulateShared(g, nil, cfg, spec, 1000, 10000)
+//	l1, l2 := mr.Curves.Point(0, 0) // aggregate L1 misses, shared-L2 misses
+//
+// Each grid point exactly matches a pointwise SimulateSharedPoint run
+// with the corresponding SharedHierConfig (experiment E21 cross-validates
+// every point).
+func SimulateShared(g *Graph, p *Partition, cfg ParallelConfig, spec SharedHierSpec, warm, measured int64) (*SharedMeasureResult, error) {
+	return parallel.MeasureShared(cfg.Rule.String(), g, p, cfg, spec, warm, measured)
+}
+
+// SimulateSharedPoint runs g on cfg.Procs simulated processors and drives
+// the recorded interleaved stream through the exact shared-L2 simulator
+// for hcfg: P private L1s in front of one contended L2. The result
+// carries per-processor per-level traffic, each processor's accumulated
+// memory time under cm, the makespan (the slowest processor), and the
+// aggregate AMAT — the pointwise oracle SimulateShared's grid matches.
+func SimulateSharedPoint(g *Graph, p *Partition, cfg ParallelConfig, hcfg SharedHierConfig, cm HierCostModel, warm, measured int64) (*SharedRunResult, error) {
+	return parallel.RunShared(g, p, cfg, hcfg, cm, warm, measured)
+}
+
+// SweepShared records and profiles one shared hierarchy grid per variant
+// on a bounded goroutine pool (workers <= 0 means GOMAXPROCS); variants
+// may differ in processor count, claiming rule, and partition. Results
+// are in variant order; if any variant fails, its slot is nil and the
+// joined error reports every failure.
+func SweepShared(g *Graph, variants []SharedVariant, spec SharedHierSpec, warm, measured int64, workers int) ([]*SharedMeasureResult, error) {
+	return collectOutcomes(parallel.SweepShared(g, variants, spec, warm, measured, workers))
 }
 
 // Bandwidth returns the partition's bandwidth (items crossing component

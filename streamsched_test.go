@@ -422,3 +422,66 @@ func TestSimulateHierPointExclusive(t *testing.T) {
 			c1, c2, pt.L1.Misses, pt.L2.Misses)
 	}
 }
+
+// TestSimulateSharedFacade: the root shared-L2 surface — one-pass grid,
+// pointwise oracle, and sweep — agree with each other on a real workload.
+func TestSimulateSharedFacade(t *testing.T) {
+	g := buildPipeline(t, 12, 64)
+	cfg := streamsched.ParallelConfig{
+		Procs: 2,
+		Env:   streamsched.Env{M: 128, B: 16},
+		Cache: streamsched.CacheConfig{Capacity: 256, Block: 16},
+	}
+	spec := streamsched.SharedHierSpec{
+		Block: 16,
+		L1s: []streamsched.HierLevel{
+			{Capacity: 128, Block: 16, Ways: 1},
+			{Capacity: 256, Block: 16},
+		},
+		L2s: []streamsched.HierLevel{
+			{Capacity: 1024, Block: 16},
+			{Capacity: 2048, Block: 64, Ways: 4},
+		},
+	}
+	mr, err := streamsched.SimulateShared(g, nil, cfg, spec, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Procs != 2 || mr.Run.SourceFired < 512 {
+		t.Fatalf("facade run accounting: %+v", mr.Run)
+	}
+	cm := streamsched.HierCostModel{L1Hit: 1, L2Hit: 10, Mem: 100}
+	for i := range spec.L1s {
+		for j := range spec.L2s {
+			hcfg := streamsched.SharedHierConfig{Procs: 2, L1: spec.L1s[i], L2: spec.L2s[j]}
+			pt, err := streamsched.SimulateSharedPoint(g, nil, cfg, hcfg, cm, 128, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l1, l2 := mr.Curves.Point(i, j)
+			var ptL1 int64
+			for p := 0; p < 2; p++ {
+				ptL1 += pt.PerProcL1[p].Misses
+			}
+			if l1 != ptL1 || l2 != pt.L2.Misses {
+				t.Errorf("point (%d,%d): grid (%d,%d) != pointwise (%d,%d)", i, j, l1, l2, ptL1, pt.L2.Misses)
+			}
+			if pt.Makespan <= 0 || pt.AMAT <= 0 {
+				t.Errorf("point (%d,%d): degenerate cost figures %+v", i, j, pt)
+			}
+		}
+	}
+
+	variants := []streamsched.SharedVariant{
+		{Name: "P1", Cfg: cfg}, {Name: "P4", Cfg: cfg},
+	}
+	variants[0].Cfg.Procs = 1
+	variants[1].Cfg.Procs = 4
+	results, err := streamsched.SweepShared(g, variants, spec, 128, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Procs != 1 || results[1].Procs != 4 {
+		t.Fatalf("sweep results: %+v", results)
+	}
+}
