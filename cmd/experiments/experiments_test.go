@@ -37,7 +37,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := map[string]bool{}
-	for i := 1; i <= 21; i++ {
+	for i := 1; i <= 22; i++ {
 		if i == 14 {
 			continue // E14 is the real-memory benchmark in bench_test.go
 		}
@@ -114,6 +114,35 @@ func TestE21Harness(t *testing.T) {
 	for _, want := range []string{"=== E21", "cross-validation vs shared-L2 simulator", "exact match at every point"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("parallel-mode E21 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE22Harness pins the instrumentation experiment's harness
+// integration: registered, selectable, sorted after E21, and exact under
+// -jobs 1 (a private registry; the counter cross-check must hold).
+func TestE22Harness(t *testing.T) {
+	selected, err := selectExperiments("e22")
+	if err != nil || len(selected) != 1 || selected[0].id != "E22" {
+		t.Fatalf("selectExperiments(e22) = %v, %v; want the E22 experiment", selected, err)
+	}
+	if !strings.Contains(selected[0].title, "instrumentation") {
+		t.Errorf("E22 title %q does not mention instrumentation", selected[0].title)
+	}
+	if experimentOrder("E21") >= experimentOrder("E22") {
+		t.Error("E22 should sort after E21")
+	}
+	if testing.Short() {
+		t.Skip("running E22 itself skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if failed := runExperiments(selected, runConfig{seed: 1}, 1, &buf); failed != 0 {
+		t.Fatalf("E22 failed:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E22", "exact match on every schedule and counter", "decode (bare ForEach)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E22 output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	experiments [-run E1,E4] [-jobs N] [-full] [-seed N]
+//	            [-metrics <file>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>] [-v]
 //
 // By default every experiment runs with moderate ("quick") parameters;
 // -full enlarges graphs and measurement windows. -jobs N runs up to N
@@ -14,6 +15,12 @@
 // top of the per-experiment parallelism the sweep-based experiments
 // already have. The process exits non-zero if any selected experiment
 // fails, and refuses unknown experiment ids.
+//
+// The observability flags mirror streamsched's: -metrics writes an
+// internal/obs snapshot (JSON, or CSV for a .csv path) on exit,
+// -cpuprofile/-memprofile/-trace capture pprof and runtime/trace
+// artifacts, and -v prints the span-tree timing summary. All of them
+// flush on every exit path, failures included.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"streamsched/internal/obs"
 	"streamsched/internal/trace"
 )
 
@@ -40,6 +48,11 @@ type runConfig struct {
 	full bool
 	seed int64
 	out  io.Writer // per-experiment output stream
+	// sharedMetrics is set when a process-wide metrics registry is live
+	// and multiple experiments may publish to it concurrently; exact
+	// counter cross-checks (E22) skip themselves then, since the deltas
+	// would include other experiments' traffic.
+	sharedMetrics bool
 }
 
 var registry []experiment
@@ -49,11 +62,23 @@ func register(id, title string, run func(runConfig) error) {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main minus os.Exit, so the observability session's
+// deferred Close flushes metrics and profiles on every exit path —
+// failed experiments and flag errors included.
+func realMain() (code int) {
 	runList := flag.String("run", "", "comma-separated experiment ids, or \"all\" (default: all)")
 	jobs := flag.Int("jobs", 1, "experiments to run concurrently (<=1: sequential, streaming output)")
 	full := flag.Bool("full", false, "use full-size parameters (slower)")
 	seed := flag.Int64("seed", 1, "seed for randomized workloads")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metrics := flag.String("metrics", "", "write a metrics snapshot here on exit (.csv for CSV, else JSON)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
+	traceOut := flag.String("trace", "", "write a runtime/trace execution trace here")
+	verbose := flag.Bool("v", false, "print the span-tree timing summary on exit")
 	flag.Parse()
 
 	sortRegistry()
@@ -61,18 +86,42 @@ func main() {
 		for _, e := range registry {
 			fmt.Printf("%-4s %s\n", e.id, e.title)
 		}
-		return
+		return 0
 	}
 	selected, err := selectExperiments(*runList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
-	cfg := runConfig{full: *full, seed: *seed}
+	sess, err := obs.StartSession(obs.SessionConfig{
+		Metrics:    *metrics,
+		CPUProfile: *cpuprofile,
+		MemProfile: *memprofile,
+		Trace:      *traceOut,
+		Verbose:    *verbose,
+		Log:        os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	cfg := runConfig{
+		full: *full, seed: *seed,
+		sharedMetrics: obs.Default() != nil && *jobs > 1 && len(selected) > 1,
+	}
 	if failed := runExperiments(selected, cfg, *jobs, os.Stdout); failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func sortRegistry() {

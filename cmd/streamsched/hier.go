@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"streamsched"
 	"streamsched/internal/cachesim"
 	"streamsched/internal/hierarchy"
+	"streamsched/internal/obs"
 	"streamsched/internal/report"
 	"streamsched/internal/schedule"
 	"streamsched/internal/trace"
@@ -20,9 +22,10 @@ import (
 // the L1 and L2 design points, plus an AMAT-style composed cost, without
 // re-running any schedule per point. The hierarchy is non-inclusive: the
 // L2 sees exactly the L1's miss stream.
-func cmdHier(args []string, out io.Writer) error {
+func cmdHier(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hier", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	of := addObsFlags(fs)
 	m := fs.Int64("M", 0, "design cache size in words (schedules are planned for this)")
 	b := fs.Int64("B", 16, "L1 block size in words (also the trace granularity)")
 	sched := fs.String("sched", "all", "scheduler, or \"all\" for baselines + partitioned")
@@ -117,8 +120,15 @@ func cmdHier(args []string, out io.Writer) error {
 		}
 		scheds = []schedule.Scheduler{s}
 	}
+	sess, err := of.start(out)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
 	env := schedule.Env{M: *m, B: *b}
+	sweepSp := obs.Default().StartSpan("hier.sweep")
 	outcomes := schedule.SweepHier(g, scheds, env, spec, *warm, *meas, *workers)
+	sweepSp.End()
 	results, err := collectSweep("hier", outcomes)
 	if err != nil {
 		return err

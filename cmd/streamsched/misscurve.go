@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"streamsched"
+	"streamsched/internal/obs"
 	"streamsched/internal/report"
 	"streamsched/internal/schedule"
 	"streamsched/internal/trace"
@@ -18,9 +20,10 @@ import (
 // single run each — the one-pass replacement for sweeping `simulate -cache`.
 // With -ways/-policy the same traces also answer set-associative and FIFO
 // organisations (one table per organisation), still one run per scheduler.
-func cmdMissCurve(args []string, out io.Writer) error {
+func cmdMissCurve(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("misscurve", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	of := addObsFlags(fs)
 	m := fs.Int64("M", 0, "design cache size in words (schedules are planned for this)")
 	b := fs.Int64("B", 16, "block size in words")
 	sched := fs.String("sched", "all", "scheduler, or \"all\" for baselines + partitioned")
@@ -70,11 +73,18 @@ func cmdMissCurve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sess, err := of.start(out)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
 	env := schedule.Env{M: *m, B: *b}
 
 	defaultOrg := len(waysList) == 1 && waysList[0] == 0 && len(policies) == 1 && policies[0] == "LRU"
 	if defaultOrg {
+		sweepSp := obs.Default().StartSpan("misscurve.sweep")
 		outcomes := schedule.SweepCurves(g, scheds, env, *b, *warm, *meas, *workers)
+		sweepSp.End()
 		results, err := collectSweep("misscurve", outcomes)
 		if err != nil {
 			return err
@@ -115,7 +125,9 @@ func cmdMissCurve(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("misscurve: %w", err)
 	}
+	sweepSp := obs.Default().StartSpan("misscurve.sweep")
 	outcomes := schedule.SweepCurveOrgs(g, scheds, env, *b, *warm, *meas, specs, *workers)
+	sweepSp.End()
 	results, err := collectSweep("misscurve", outcomes)
 	if err != nil {
 		return err

@@ -31,7 +31,8 @@ var errUsage = errors.New(`usage:
   streamsched compile -M <words> [-sched <name>] [-o <file>] <graph.json>
   streamsched export -workload <name> [-o <file>]
 workloads: fmradio filterbank beamformer fft bitonic des mp3
-schedulers: flat scaled demand kohli partitioned`)
+schedulers: flat scaled demand kohli partitioned
+observability (simulate, misscurve, hier, shared): [-metrics <file[.csv]>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>] [-v]`)
 
 // run dispatches a CLI invocation; out receives normal output.
 func run(args []string, out io.Writer) error {
@@ -184,9 +185,10 @@ func partitionBy(algo string, g *sdf.Graph, m int64) (*partition.Partition, erro
 	}
 }
 
-func cmdSimulate(args []string, out io.Writer) error {
+func cmdSimulate(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	of := addObsFlags(fs)
 	m := fs.Int64("M", 0, "design cache size in words")
 	b := fs.Int64("B", 16, "block size in words")
 	cache := fs.Int64("cache", 0, "simulated cache capacity (default 2M)")
@@ -222,6 +224,11 @@ func cmdSimulate(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sess, err := of.start(out)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
 	env := schedule.Env{M: *m, B: *b}
 	cacheCfg := cachesim.Config{Capacity: *cache, Block: *b, Ways: *ways, Policy: pol}
 	res, err := schedule.Measure(g, s, env, cacheCfg, *warm, *meas)

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 
 	"streamsched"
 	"streamsched/internal/hierarchy"
+	"streamsched/internal/obs"
 	"streamsched/internal/parallel"
 	"streamsched/internal/partition"
 	"streamsched/internal/report"
@@ -21,9 +23,10 @@ import (
 // design point in exactly the recorded order. A second table breaks one
 // grid point down per processor (private-L1 and attributed shared-L2
 // traffic, per-processor cost, makespan) via the exact shared simulator.
-func cmdShared(args []string, out io.Writer) error {
+func cmdShared(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("shared", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	of := addObsFlags(fs)
 	m := fs.Int64("M", 0, "design cache size in words (schedules are planned for this)")
 	b := fs.Int64("B", 16, "L1 block size in words (also the trace granularity)")
 	procs := fs.Int("P", 2, "simulated processors (each with a private L1)")
@@ -128,6 +131,12 @@ func cmdShared(args []string, out io.Writer) error {
 		}
 	}
 
+	sess, err := of.start(out)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+
 	cfg := parallel.Config{
 		Procs: *procs,
 		Env:   schedule.Env{M: *m, B: *b},
@@ -136,12 +145,19 @@ func cmdShared(args []string, out io.Writer) error {
 	}
 	// One traced execution serves everything below: the grid profile and
 	// the per-processor detail both replay the recorded log.
+	sp := obs.Default().StartSpan("shared.measure")
+	stage := sp.Start("record")
 	res, plog, err := parallel.RunTraced(g, part, cfg, *warm, *meas)
+	stage.End()
 	if err != nil {
+		sp.End()
 		return err
 	}
 	defer plog.Close()
+	stage = sp.Start("profile")
 	curves, err := hierarchy.ProfileShared(plog, spec)
+	stage.End()
+	sp.End()
 	if err != nil {
 		return err
 	}

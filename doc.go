@@ -60,6 +60,14 @@
 // (ParallelHomogeneous / ParallelPipeline), and partition. Experiment E21
 // cross-validates every (schedule, P, L1, L2) point exactly.
 //
+// The pipeline is instrumented through internal/obs, a dependency-free
+// metrics layer (named counters, gauges, timers, and hierarchical stage
+// spans) that is a nil-receiver no-op until a registry is installed:
+// cmd/streamsched's measuring verbs and cmd/experiments expose it via
+// -metrics (JSON/CSV snapshot), -cpuprofile/-memprofile/-trace, and -v
+// (span-tree summary). Experiment E22 cross-checks the published counter
+// totals against the exact simulator's access counts.
+//
 // Subpackage workloads provides parameterised topologies of classic
 // streaming applications; cmd/experiments regenerates every experiment in
 // EXPERIMENTS.md; cmd/streamsched is a CLI over JSON graph files.

@@ -277,6 +277,8 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 	}
 
 	// One pass drives both the L1 curves and the filtered L2 profilers.
+	reg := l.Metrics()
+	stop := reg.Timer("hier.profile").Start()
 	filters := buildFilters(spec)
 	err = l.ForEachWindowed(func() {
 		orgProfs.ResetCounts()
@@ -319,6 +321,24 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	stop()
+	orgProfs.PublishMetrics(reg, orgCurves)
+	if reg != nil {
+		var filterMisses, l2Ops int64
+		for _, f := range filters {
+			filterMisses += f.misses
+			for _, g := range f.groups {
+				if g.assoc != nil {
+					l2Ops += g.assoc.TimelineOps()
+				}
+			}
+		}
+		// The filter-stream length: accesses the L1 filters let through,
+		// i.e. the combined length of the streams that fed the L2 profilers.
+		reg.Counter("hier.filter.misses").Add(filterMisses)
+		reg.Counter("trace.profile.fenwick.ops").Add(l2Ops)
+		reg.Counter("hier.profile.points").Add(int64(len(spec.L1s) * len(spec.L2s)))
 	}
 	return out, nil
 }

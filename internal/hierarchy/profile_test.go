@@ -141,8 +141,18 @@ func TestProfileHierSinglePass(t *testing.T) {
 	if _, err := ProfileHier(spilled, testSpec()); err != nil {
 		t.Fatal(err)
 	}
-	if got := spilled.Replays(); got != 1 {
-		t.Errorf("ProfileHier paid %d trace replays, want 1", got)
+	st := spilled.Stats()
+	if st.Replays != 1 {
+		t.Errorf("ProfileHier paid %d trace replays, want 1", st.Replays)
+	}
+	if st.Accesses != int64(len(blocks)) {
+		t.Errorf("stats count %d accesses, recorded %d", st.Accesses, len(blocks))
+	}
+	if st.SpilledBytes == 0 {
+		t.Error("stats report no spilled bytes on a spilled trace")
+	}
+	if st.Chunks == 0 || st.SpilledBytes > int64(st.Chunks)*(64<<10) {
+		t.Errorf("stats inconsistent: %d chunks sealed for %d spilled bytes", st.Chunks, st.SpilledBytes)
 	}
 }
 

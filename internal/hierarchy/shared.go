@@ -186,5 +186,16 @@ func SimulateSharedLog(pl *trace.ProcLog, cfg SharedConfig) (*SharedSim, error) 
 	if err := pl.ForEachWindowed(sim.ResetStats, sim.Access); err != nil {
 		return nil, err
 	}
+	if reg := pl.Metrics(); reg != nil {
+		var l1 LevelStats
+		for p := 0; p < cfg.Procs; p++ {
+			st := sim.L1Stats(p)
+			l1.Accesses += st.Accesses
+			l1.Hits += st.Hits
+			l1.Misses += st.Misses
+		}
+		publishLevelStats(reg, "hier.sim.l1", l1)
+		publishLevelStats(reg, "hier.sim.l2", sim.L2Stats())
+	}
 	return sim, nil
 }

@@ -287,8 +287,21 @@ func TestProfileSharedSpilled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spilled.Replays() != 1 {
-		t.Errorf("ProfileShared paid %d replays, want 1", spilled.Replays())
+	st, stMem := spilled.Stats(), mem.Stats()
+	if st.Replays != 1 {
+		t.Errorf("ProfileShared paid %d replays, want 1", st.Replays)
+	}
+	if st.Accesses != stMem.Accesses || st.Accesses != spilled.Len() || st.Accesses == 0 {
+		t.Errorf("stats count %d accesses, in-memory twin recorded %d", st.Accesses, stMem.Accesses)
+	}
+	if st.SpilledBytes == 0 {
+		t.Error("stats report no spilled bytes on a spilled trace")
+	}
+	if stMem.SpilledBytes != 0 {
+		t.Errorf("in-memory trace claims %d spilled bytes", stMem.SpilledBytes)
+	}
+	if st.Chunks != stMem.Chunks || st.Chunks == 0 {
+		t.Errorf("chunk counts diverge: spilled sealed %d, in-memory %d", st.Chunks, stMem.Chunks)
 	}
 	for i := range spec.L1s {
 		for p := 0; p < spec.Procs; p++ {

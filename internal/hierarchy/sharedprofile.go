@@ -192,6 +192,8 @@ func ProfileShared(pl *trace.ProcLog, spec SharedSpec) (*SharedCurves, error) {
 		return nil, fmt.Errorf("hierarchy: trace has %d processors, spec wants %d", pl.Procs(), spec.Procs)
 	}
 
+	reg := pl.Metrics()
+	stop := reg.Timer("hier.shared.profile").Start()
 	filters := buildSharedFilters(spec.Block, spec.L1s, spec.L2s, spec.Procs)
 	var accesses int64
 	procAccesses := make([]int64, spec.Procs)
@@ -227,6 +229,23 @@ func ProfileShared(pl *trace.ProcLog, spec SharedSpec) (*SharedCurves, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	stop()
+	if reg != nil {
+		reg.Counter("trace.profile.accesses").Add(accesses)
+		reg.Counter("trace.profile.passes").Add(1)
+		var filterMisses, l2Ops int64
+		for i := range filters {
+			filterMisses += out.L1Total(i)
+			for _, g := range filters[i].groups {
+				if g.assoc != nil {
+					l2Ops += g.assoc.TimelineOps()
+				}
+			}
+		}
+		reg.Counter("hier.filter.misses").Add(filterMisses)
+		reg.Counter("trace.profile.fenwick.ops").Add(l2Ops)
+		reg.Counter("hier.profile.points").Add(int64(len(spec.L1s) * len(spec.L2s)))
 	}
 	return out, nil
 }

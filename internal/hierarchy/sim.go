@@ -2,6 +2,7 @@ package hierarchy
 
 import (
 	"streamsched/internal/cachesim"
+	"streamsched/internal/obs"
 	"streamsched/internal/trace"
 )
 
@@ -129,5 +130,18 @@ func SimulateLog(l *trace.Log, cfg Config) (*Sim, error) {
 	if err := l.ForEachWindowed(sim.ResetStats, sim.Access); err != nil {
 		return nil, err
 	}
+	publishLevelStats(l.Metrics(), "hier.sim.l1", sim.L1Stats())
+	publishLevelStats(l.Metrics(), "hier.sim.l2", sim.L2Stats())
 	return sim, nil
+}
+
+// publishLevelStats surfaces one level's windowed traffic counters through
+// the registry under <prefix>.{accesses,hits,misses}.
+func publishLevelStats(reg *obs.Registry, prefix string, st LevelStats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".accesses").Add(st.Accesses)
+	reg.Counter(prefix + ".hits").Add(st.Hits)
+	reg.Counter(prefix + ".misses").Add(st.Misses)
 }

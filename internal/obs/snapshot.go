@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"streamsched/internal/report"
+)
+
+// TimerStats is a Timer's exported summary.
+type TimerStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (t TimerStats) Mean() time.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	return time.Duration(t.TotalNS / t.Count)
+}
+
+// SpanNode is one exported span: a stage name, its wall-clock duration,
+// and its child stages.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	DurNS    int64      `json:"dur_ns"`
+	Open     bool       `json:"open,omitempty"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// Snapshot is a registry's state at one instant, the serialisable form
+// behind the -metrics flag and the E22 report.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Gauges   map[string]int64      `json:"gauges"`
+	Timers   map[string]TimerStats `json:"timers"`
+	Spans    []SpanNode            `json:"spans,omitempty"`
+}
+
+// Counter returns a counter's value, zero when absent.
+func (s *Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// CounterDelta returns how much a counter grew since base (which may be
+// nil, meaning zero). Snapshot-delta arithmetic is how a stage isolates
+// its own contribution on a shared registry.
+func (s *Snapshot) CounterDelta(base *Snapshot, name string) int64 {
+	v := s.Counters[name]
+	if base != nil {
+		v -= base.Counters[name]
+	}
+	return v
+}
+
+// WriteJSON serialises the snapshot as indented JSON. Map keys serialise
+// sorted, so output is deterministic for a given state.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV serialises the snapshot as one flat CSV: kind, name, value,
+// and for timers the count/min/max columns. Spans flatten to dotted paths
+// (parent.child) with their duration in nanoseconds.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	t := report.NewTable("", "kind", "name", "value", "count", "min_ns", "max_ns")
+	for _, k := range sortedKeys(s.Counters) {
+		t.Add("counter", k, report.I(s.Counters[k]))
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		t.Add("gauge", k, report.I(s.Gauges[k]))
+	}
+	for _, k := range sortedKeys(s.Timers) {
+		ts := s.Timers[k]
+		t.Add("timer", k, report.I(ts.TotalNS), report.I(ts.Count), report.I(ts.MinNS), report.I(ts.MaxNS))
+	}
+	var walk func(prefix string, n SpanNode)
+	walk = func(prefix string, n SpanNode) {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "." + n.Name
+		}
+		t.Add("span", path, report.I(n.DurNS))
+		for _, c := range n.Children {
+			walk(path, c)
+		}
+	}
+	for _, n := range s.Spans {
+		walk("", n)
+	}
+	return t.RenderCSV(w)
+}
+
+// WriteSpanTree renders the span forest as an indented human-readable
+// summary — what the CLIs print under -v.
+func (s *Snapshot) WriteSpanTree(w io.Writer) error {
+	if len(s.Spans) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no spans recorded")
+		return err
+	}
+	var b strings.Builder
+	var walk func(indent int, n SpanNode)
+	walk = func(indent int, n SpanNode) {
+		fmt.Fprintf(&b, "%s%s  %s", strings.Repeat("  ", indent), n.Name,
+			time.Duration(n.DurNS).Round(time.Microsecond))
+		if n.Open {
+			b.WriteString(" (open)")
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(indent+1, c)
+		}
+	}
+	for _, n := range s.Spans {
+		walk(0, n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeAs serialises for a destination path: CSV for a .csv suffix, JSON
+// otherwise.
+func (s *Snapshot) writeAs(w io.Writer, path string) error {
+	if strings.HasSuffix(path, ".csv") {
+		return s.WriteCSV(w)
+	}
+	return s.WriteJSON(w)
+}

@@ -26,6 +26,7 @@ import (
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/exec"
+	"streamsched/internal/obs"
 	"streamsched/internal/partition"
 	"streamsched/internal/schedule"
 	"streamsched/internal/sdf"
@@ -434,6 +435,10 @@ func RunTraced(g *sdf.Graph, p *partition.Partition, cfg Config, warm, measured 
 	if err != nil {
 		return nil, nil, err
 	}
+	reg := obs.Or(cfg.Env.Metrics)
+	sp := reg.StartSpan(fmt.Sprintf("run_traced[procs=%d]", cfg.Procs))
+	defer sp.End()
+	plog.SetMetrics(reg)
 	plog.SetSpillThreshold(traceSpillBytes)
 	// On any failure the log is not handed to the caller, so its spill
 	// file (if the trace grew past the threshold) must be released here.
@@ -445,26 +450,38 @@ func RunTraced(g *sdf.Graph, p *partition.Partition, cfg Config, warm, measured 
 		proc := i
 		st.caches[i].SetObserver(func(blk int64) { plog.Record(proc, blk) })
 	}
+	stage := sp.Start("warm")
 	if warm > 0 {
 		if err := st.drive(warm); err != nil {
 			return fail(err)
 		}
 	}
+	stage.End()
 	plog.MarkWindow()
 	since := st.take()
 	// Target relative to where warmup actually stopped: batch executions
 	// overshoot their source-firing targets, and the overshoot must not
 	// eat into the measured window.
+	stage = sp.Start("measure")
 	if err := st.drive(st.m.SourceFirings() + measured); err != nil {
 		return fail(err)
 	}
+	stage.End()
 	if err := st.m.CheckConservation(); err != nil {
 		return fail(err)
 	}
 	if err := plog.Err(); err != nil {
 		return fail(err)
 	}
-	return st.summarise(since), plog, nil
+	res := st.summarise(since)
+	if reg != nil {
+		for p, n := range res.Executions {
+			reg.Counter(fmt.Sprintf("parallel.proc.%d.executions", p)).Add(n)
+		}
+		reg.Counter("parallel.window.misses").Add(res.TotalMisses)
+		reg.Counter("parallel.trace.runs").Add(int64(plog.Runs()))
+	}
+	return res, plog, nil
 }
 
 // traceSpillBytes caps the in-memory encoding of recorded parallel traces,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamsched/internal/hierarchy"
+	"streamsched/internal/obs"
 	"streamsched/internal/partition"
 	"streamsched/internal/sdf"
 	"streamsched/internal/trace"
@@ -128,12 +129,19 @@ func MeasureShared(name string, g *sdf.Graph, p *partition.Partition, cfg Config
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	reg := obs.Or(cfg.Env.Metrics)
+	sp := reg.StartSpan("measure_shared[" + name + "]")
+	defer sp.End()
+	stage := sp.Start("record")
 	res, plog, err := RunTraced(g, p, cfg, warm, measured)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("parallel: %s: %w", name, err)
 	}
 	defer plog.Close()
+	stage = sp.Start("profile")
 	curves, err := hierarchy.ProfileShared(plog, spec)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("parallel: profile %s: %w", name, err)
 	}

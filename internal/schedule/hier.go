@@ -54,11 +54,17 @@ func MeasureHier(g *sdf.Graph, s Scheduler, env Env, spec hierarchy.HierSpec, wa
 	if measured <= 0 {
 		return nil, fmt.Errorf("schedule: measured window must be positive, got %d", measured)
 	}
+	reg := env.metrics()
+	sp := reg.StartSpan("measure_hier[" + s.Name() + "]")
+	defer sp.End()
+	stage := sp.Start("plan")
 	plan, err := s.Prepare(g, env)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: prepare %s: %w", s.Name(), err)
 	}
 	log := trace.NewLog()
+	log.SetMetrics(reg)
 	log.SetSpillThreshold(curveSpillBytes)
 	defer log.Close()
 	m, err := exec.NewMachine(g, exec.Config{
@@ -70,6 +76,7 @@ func MeasureHier(g *sdf.Graph, s Scheduler, env Env, spec hierarchy.HierSpec, wa
 	if err != nil {
 		return nil, fmt.Errorf("schedule: machine for %s: %w", s.Name(), err)
 	}
+	stage = sp.Start("record")
 	if warm > 0 {
 		if err := plan.Runner.Run(m, warm); err != nil {
 			return nil, fmt.Errorf("schedule: warmup %s: %w", s.Name(), err)
@@ -85,7 +92,10 @@ func MeasureHier(g *sdf.Graph, s Scheduler, env Env, spec hierarchy.HierSpec, wa
 	if err := m.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("schedule: %s broke conservation: %w", s.Name(), err)
 	}
+	stage.End()
+	stage = sp.Start("profile")
 	curves, err := hierarchy.ProfileHier(log, spec)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: profile %s: %w", s.Name(), err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"streamsched/internal/cachesim"
 	"streamsched/internal/exec"
+	"streamsched/internal/obs"
 	"streamsched/internal/sdf"
 )
 
@@ -31,7 +32,16 @@ type Env struct {
 	M int64
 	// B is the cache block size in words.
 	B int64
+	// Metrics optionally routes this run's instrumentation (stage spans,
+	// exec.* and trace.* counters) into a specific registry. Nil falls back
+	// to the process-wide obs.Default(), which is itself nil — fully
+	// disabled — unless a CLI session or test installed one.
+	Metrics *obs.Registry
 }
+
+// metrics resolves the environment's registry (explicit, else the process
+// default).
+func (e Env) metrics() *obs.Registry { return obs.Or(e.Metrics) }
 
 // Runner drives a machine until the source has fired at least target times
 // (a cumulative count since machine creation, so runs are resumable).
@@ -86,7 +96,12 @@ func Measure(g *sdf.Graph, s Scheduler, env Env, cacheCfg cachesim.Config, warm,
 	if measured <= 0 {
 		return nil, fmt.Errorf("schedule: measured window must be positive, got %d", measured)
 	}
+	reg := env.metrics()
+	sp := reg.StartSpan("simulate[" + s.Name() + "]")
+	defer sp.End()
+	stage := sp.Start("plan")
 	plan, err := s.Prepare(g, env)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: prepare %s: %w", s.Name(), err)
 	}
@@ -98,11 +113,15 @@ func Measure(g *sdf.Graph, s Scheduler, env Env, cacheCfg cachesim.Config, warm,
 		return nil, fmt.Errorf("schedule: machine for %s: %w", s.Name(), err)
 	}
 	m.ClassifyLayout(plan.CrossEdges)
+	stage = sp.Start("warm")
 	if warm > 0 {
 		if err := plan.Runner.Run(m, warm); err != nil {
 			return nil, fmt.Errorf("schedule: warmup %s: %w", s.Name(), err)
 		}
 	}
+	stage.End()
+	stage = sp.Start("run")
+	defer stage.End()
 	m.Cache().ResetStats()
 	m.ResetLatency()
 	fired0, items0 := m.SourceFirings(), m.InputItems()
@@ -130,6 +149,12 @@ func Measure(g *sdf.Graph, s Scheduler, env Env, cacheCfg cachesim.Config, warm,
 	}
 	if err := m.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("schedule: %s broke conservation: %w", s.Name(), err)
+	}
+	if reg != nil {
+		reg.Counter("exec.accesses").Add(stats.Accesses)
+		reg.Counter("exec.hits").Add(stats.Hits)
+		reg.Counter("exec.misses").Add(stats.Misses)
+		reg.Counter("exec.source.firings").Add(res.SourceFired)
 	}
 	return res, nil
 }

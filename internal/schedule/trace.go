@@ -71,11 +71,17 @@ func MeasureCurveOrgs(g *sdf.Graph, s Scheduler, env Env, block int64, warm, mea
 	if block <= 0 {
 		return nil, fmt.Errorf("schedule: block size must be positive, got %d", block)
 	}
+	reg := env.metrics()
+	sp := reg.StartSpan("measure[" + s.Name() + "]")
+	defer sp.End()
+	stage := sp.Start("plan")
 	plan, err := s.Prepare(g, env)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: prepare %s: %w", s.Name(), err)
 	}
 	log := trace.NewLog()
+	log.SetMetrics(reg)
 	log.SetSpillThreshold(curveSpillBytes)
 	defer log.Close()
 	// The machine needs a cache to charge accesses to, but the recording is
@@ -91,6 +97,7 @@ func MeasureCurveOrgs(g *sdf.Graph, s Scheduler, env Env, block int64, warm, mea
 	if err != nil {
 		return nil, fmt.Errorf("schedule: machine for %s: %w", s.Name(), err)
 	}
+	stage = sp.Start("record")
 	if warm > 0 {
 		if err := plan.Runner.Run(m, warm); err != nil {
 			return nil, fmt.Errorf("schedule: warmup %s: %w", s.Name(), err)
@@ -106,11 +113,14 @@ func MeasureCurveOrgs(g *sdf.Graph, s Scheduler, env Env, block int64, warm, mea
 	if err := m.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("schedule: %s broke conservation: %w", s.Name(), err)
 	}
+	stage.End()
 	// The fully-associative curve is the Sets=1 organisation; profiling it
 	// through ProfileOrgs folds every requested organisation into a single
 	// replay of the log.
+	stage = sp.Start("profile")
 	specs := append([]trace.OrgSpec{{Sets: 1}}, orgs...)
 	profiles, err := trace.ProfileOrgs(log, specs)
+	stage.End()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: profile %s: %w", s.Name(), err)
 	}

@@ -117,6 +117,19 @@ func (s *setStack) curve() *MissCurve {
 	return curveFromHist(s.list.hist, s.list.cold)
 }
 
+// TimelineOps returns the total Fenwick-timeline operation count across
+// the sets that upgraded to the order-statistics structure; sets still on
+// the list stack contribute nothing (their work is array scans).
+func (p *AssocProfiler) TimelineOps() int64 {
+	var ops int64
+	for i := range p.per {
+		if m := p.per[i].mat; m != nil {
+			ops += m.TimelineOps()
+		}
+	}
+	return ops
+}
+
 // ResetCounts zeroes every set's histogram while keeping stack state,
 // mirroring Profiler.ResetCounts for the warmup-window protocol.
 func (p *AssocProfiler) ResetCounts() {

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
+
+	"streamsched/internal/obs"
 )
 
 // logChunkSize is the target size of one encoded chunk. Chunks are sealed
@@ -37,12 +40,85 @@ type Log struct {
 	memBytes int64 // bytes held in sealed in-memory chunks
 	spill    *os.File
 	spillW   *bufio.Writer
-	spilled  int64 // bytes written to the spill file
+	spilled  int64 // bytes currently in the spill file (reset by Close)
 	dropped  bool  // Close released spilled data; the log is unreadable
 	err      error // first spill I/O error, reported by ForEach/Close
 	replays  int64 // completed end-to-end decodes (ForEach calls)
 
-	scratch [binary.MaxVarintLen64]byte
+	sealed    int64 // chunks ever sealed
+	everSpill int64 // bytes ever written to the spill file (survives Close)
+	met       *logMetrics
+	scratch   [binary.MaxVarintLen64]byte
+}
+
+// logMetrics caches the log's registry handles so the record path touches
+// the registry maps once, not per access. A shared zero-value instance is
+// the disabled path: its nil counters discard everything.
+type logMetrics struct {
+	reg      *obs.Registry
+	accesses *obs.Counter
+	sealedC  *obs.Counter
+	spillB   *obs.Counter
+	replays  *obs.Counter
+	decode   *obs.Timer
+}
+
+var nopLogMetrics logMetrics
+
+func newLogMetrics(reg *obs.Registry) *logMetrics {
+	if reg == nil {
+		return &nopLogMetrics
+	}
+	return &logMetrics{
+		reg:      reg,
+		accesses: reg.Counter("trace.accesses"),
+		sealedC:  reg.Counter("trace.chunks.sealed"),
+		spillB:   reg.Counter("trace.spill.bytes"),
+		replays:  reg.Counter("trace.replays"),
+		decode:   reg.Timer("trace.replay"),
+	}
+}
+
+// metrics resolves the log's registry handles, capturing the process
+// default lazily on first use when SetMetrics was never called.
+func (l *Log) metrics() *logMetrics {
+	if l.met == nil {
+		l.met = newLogMetrics(obs.Default())
+	}
+	return l.met
+}
+
+// SetMetrics routes the log's instrumentation (trace.accesses,
+// trace.chunks.sealed, trace.spill.bytes, trace.replays, and the
+// trace.replay timer — full replay wall-clock, consumer callbacks
+// included) into reg instead of the process default; nil disables it.
+// Call before recording starts — without it the default registry is
+// captured at the first recorded access.
+func (l *Log) SetMetrics(reg *obs.Registry) { l.met = newLogMetrics(reg) }
+
+// Metrics returns the registry the log publishes to, nil when disabled.
+// Profiling passes that only receive the log (ProfileOrgs, ProfileHier)
+// publish their own metrics here so one run's counters land in one place.
+func (l *Log) Metrics() *obs.Registry { return l.metrics().reg }
+
+// LogStats is a recording's accounting summary — what the spill
+// regression tests assert on instead of poking individual getters.
+type LogStats struct {
+	Accesses     int64 // block accesses recorded
+	Chunks       int64 // chunks sealed (in-memory or spilled)
+	SpilledBytes int64 // bytes ever written to the spill file
+	Replays      int64 // completed end-to-end decodes
+}
+
+// Stats returns the log's accounting summary. SpilledBytes is cumulative
+// over the log's lifetime: it survives Close, unlike Spilled().
+func (l *Log) Stats() LogStats {
+	return LogStats{
+		Accesses:     l.n,
+		Chunks:       l.sealed,
+		SpilledBytes: l.everSpill,
+		Replays:      l.replays,
+	}
 }
 
 // NewLog returns an empty in-memory trace log.
@@ -65,6 +141,7 @@ func (l *Log) RecordBlock(blk int64) {
 	}
 	l.cur = append(l.cur, l.scratch[:m]...)
 	l.n++
+	l.metrics().accesses.Add(1)
 	if len(l.cur) >= logChunkSize {
 		l.seal()
 	}
@@ -85,6 +162,8 @@ func (l *Log) seal() {
 	l.chunks = append(l.chunks, l.cur)
 	l.memBytes += int64(len(l.cur))
 	l.cur = nil
+	l.sealed++
+	l.metrics().sealedC.Add(1)
 	if l.spillAt > 0 && l.memBytes > l.spillAt {
 		l.spillChunks()
 	}
@@ -106,13 +185,17 @@ func (l *Log) spillChunks() {
 		l.spill = f
 		l.spillW = bufio.NewWriterSize(f, 1<<20)
 	}
+	moved := int64(0)
 	for _, c := range l.chunks {
 		if _, err := l.spillW.Write(c); err != nil {
 			l.err = fmt.Errorf("trace: spill write: %w", err)
 			return
 		}
 		l.spilled += int64(len(c))
+		moved += int64(len(c))
 	}
+	l.everSpill += moved
+	l.metrics().spillB.Add(moved)
 	l.chunks = l.chunks[:0]
 	l.memBytes = 0
 }
@@ -156,6 +239,11 @@ func (l *Log) ForEach(fn func(blk int64)) error {
 	if l.dropped {
 		return fmt.Errorf("trace: log closed after spilling; spilled data released")
 	}
+	met := l.metrics()
+	var began time.Time
+	if met.reg != nil {
+		began = time.Now()
+	}
 	dec := logDecoder{fn: fn}
 	if l.spill != nil {
 		// Any failure here is latched into l.err: the spill file's offset
@@ -188,6 +276,10 @@ func (l *Log) ForEach(fn func(blk int64)) error {
 	dec.feed(l.cur)
 	if dec.err == nil {
 		l.replays++
+		met.replays.Add(1)
+		if met.reg != nil {
+			met.decode.Observe(time.Since(began))
+		}
 	}
 	return dec.err
 }

@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"streamsched/internal/obs"
+)
 
 // OrgSpec selects one cache-organisation family to profile a trace under:
 // a set count whose per-set LRU stacks answer every way count at once,
@@ -162,6 +166,34 @@ func (p *OrgProfilers) Touch(blk int64) {
 	}
 }
 
+// TimelineOps returns the total Fenwick-timeline operation count across
+// every organisation's set stacks.
+func (p *OrgProfilers) TimelineOps() int64 {
+	var ops int64
+	for _, a := range p.assoc {
+		ops += a.TimelineOps()
+	}
+	return ops
+}
+
+// PublishMetrics records a completed profiling pass's totals into reg
+// (no-op when reg is nil): the counted access total, the Fenwick work it
+// cost, and the pass count. Callers that drive OrgProfilers manually
+// (ProfileHier, experiment E22) call this once per pass; ProfileOrgs does
+// it for its own pass.
+func (p *OrgProfilers) PublishMetrics(reg *obs.Registry, curves []*OrgCurves) {
+	if reg == nil {
+		return
+	}
+	var accesses int64
+	if len(curves) > 0 {
+		accesses = curves[0].LRU.Accesses
+	}
+	reg.Counter("trace.profile.accesses").Add(accesses)
+	reg.Counter("trace.profile.fenwick.ops").Add(p.TimelineOps())
+	reg.Counter("trace.profile.passes").Add(1)
+}
+
 // Curves extracts the profiles, in spec order.
 func (p *OrgProfilers) Curves() []*OrgCurves {
 	out := make([]*OrgCurves, len(p.specs))
@@ -185,8 +217,13 @@ func ProfileOrgs(l *Log, specs []OrgSpec) ([]*OrgCurves, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := l.Metrics()
+	stop := reg.Timer("trace.profile").Start()
 	if err := l.ForEachWindowed(p.ResetCounts, p.Touch); err != nil {
 		return nil, err
 	}
-	return p.Curves(), nil
+	curves := p.Curves()
+	stop()
+	p.PublishMetrics(reg, curves)
+	return curves, nil
 }

@@ -20,6 +20,7 @@ type timeline struct {
 	blkOf []int64 // slot -> live block id, -1 when dead, 1-based
 	next  int32   // next unused slot
 	live  int32   // number of live slots
+	ops   int64   // structural operations (append/remove/count) performed
 }
 
 func newTimeline() *timeline {
@@ -51,11 +52,13 @@ func (t *timeline) Len() int { return int(t.live) }
 // CountAfter returns the number of live slots strictly more recent than
 // slot — the blocks above it in the LRU stack.
 func (t *timeline) CountAfter(slot int32) int64 {
+	t.ops++
 	return int64(t.live - t.prefix(slot))
 }
 
 // Remove kills a live slot.
 func (t *timeline) Remove(slot int32) {
+	t.ops++
 	t.add(slot, -1)
 	t.blkOf[slot] = -1
 	t.live--
@@ -66,6 +69,7 @@ func (t *timeline) Remove(slot int32) {
 // every live slot in recency order and reports each surviving block's new
 // slot through relabel.
 func (t *timeline) Append(blk int64, relabel func(blk int64, slot int32)) int32 {
+	t.ops++
 	if int(t.next) == len(t.bit) {
 		t.compact(relabel)
 	}

@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"streamsched/internal/obs"
+)
 
 // ProcLog is a multi-processor trace: P per-processor block-access streams
 // together with the global order in which the parallel executor interleaved
@@ -97,6 +101,16 @@ func (pl *ProcLog) Spilled() bool { return pl.log.Spilled() }
 
 // Replays returns how many times the trace has been decoded end to end.
 func (pl *ProcLog) Replays() int64 { return pl.log.Replays() }
+
+// Stats returns the underlying interleaved stream's accounting summary.
+func (pl *ProcLog) Stats() LogStats { return pl.log.Stats() }
+
+// SetMetrics forwards to the underlying Log: the interleaved stream's
+// instrumentation publishes into reg. Call before recording starts.
+func (pl *ProcLog) SetMetrics(reg *obs.Registry) { pl.log.SetMetrics(reg) }
+
+// Metrics returns the registry the trace publishes to, nil when disabled.
+func (pl *ProcLog) Metrics() *obs.Registry { return pl.log.Metrics() }
 
 // Err returns the first spill I/O error, if any.
 func (pl *ProcLog) Err() error { return pl.log.Err() }

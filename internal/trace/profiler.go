@@ -107,6 +107,12 @@ func (p *Profiler) ResetCounts() {
 // Distinct returns the number of distinct blocks seen so far.
 func (p *Profiler) Distinct() int64 { return p.distinct }
 
+// TimelineOps returns the number of structural order-statistics operations
+// (append, remove, depth count) the profiler's Fenwick timeline has
+// performed — the metric instrumented profiling passes publish as
+// trace.profile.fenwick.ops.
+func (p *Profiler) TimelineOps() int64 { return p.tl.ops }
+
 // Curve freezes the current histogram into a MissCurve.
 func (p *Profiler) Curve() *MissCurve {
 	return curveFromHist(p.hist, p.cold)

@@ -73,4 +73,20 @@ func TestProfileOrgsSpillIdentical(t *testing.T) {
 	if _, err := trace.ProfileOrgs(spilled, specs); err != nil {
 		t.Errorf("second profiling pass over the spilled log: %v", err)
 	}
+	// Full-stats accounting: both logs saw the same stream and seal chunks
+	// identically; only the spill destination differs, and each ProfileOrgs
+	// pass costs exactly one replay.
+	st, stMem := spilled.Stats(), mem.Stats()
+	if st.Accesses != int64(len(blocks)) || stMem.Accesses != int64(len(blocks)) {
+		t.Errorf("stats count %d/%d accesses, recorded %d", st.Accesses, stMem.Accesses, len(blocks))
+	}
+	if st.Chunks != stMem.Chunks || st.Chunks == 0 {
+		t.Errorf("chunk counts diverge: spilled sealed %d, in-memory %d", st.Chunks, stMem.Chunks)
+	}
+	if st.SpilledBytes == 0 || stMem.SpilledBytes != 0 {
+		t.Errorf("spill accounting: spilled log %d bytes, in-memory log %d", st.SpilledBytes, stMem.SpilledBytes)
+	}
+	if st.Replays != 2 || stMem.Replays != 1 {
+		t.Errorf("replay accounting: spilled %d (want 2), in-memory %d (want 1)", st.Replays, stMem.Replays)
+	}
 }

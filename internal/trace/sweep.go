@@ -1,8 +1,12 @@
 package trace
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"streamsched/internal/obs"
 )
 
 // Job is one unit of sweep work: typically "record and profile one
@@ -22,6 +26,11 @@ type Outcome[T any] struct {
 // Sweep runs the jobs on a bounded goroutine pool (workers <= 0 means
 // GOMAXPROCS) and returns the outcomes in job order. Every job runs even
 // if earlier jobs fail; callers decide how to combine errors.
+//
+// When the process-wide obs registry is live, each pool drain publishes
+// sweep.jobs and per-worker sweep.worker.<i>.jobs counters, the
+// sweep.queue.wait timer (time from submission to a worker picking the
+// job up), and a per-variant sweep.job[<name>] timer.
 func Sweep[T any](jobs []Job[T], workers int) []Outcome[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,20 +42,41 @@ func Sweep[T any](jobs []Job[T], workers int) []Outcome[T] {
 	if len(jobs) == 0 {
 		return out
 	}
-	next := make(chan int)
+	reg := obs.Default()
+	reg.Gauge("sweep.workers").Max(int64(workers))
+	type item struct {
+		idx      int
+		enqueued time.Time
+	}
+	next := make(chan item)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
+			workerJobs := reg.Counter(fmt.Sprintf("sweep.worker.%d.jobs", w))
+			totalJobs := reg.Counter("sweep.jobs")
+			queueWait := reg.Timer("sweep.queue.wait")
+			for it := range next {
+				i := it.idx
+				if reg != nil {
+					queueWait.Observe(time.Since(it.enqueued))
+				}
+				stop := reg.Timer("sweep.job[" + jobs[i].Name + "]").Start()
 				v, err := jobs[i].Run()
+				stop()
+				workerJobs.Add(1)
+				totalJobs.Add(1)
 				out[i] = Outcome[T]{Name: jobs[i].Name, Value: v, Err: err}
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
-		next <- i
+		it := item{idx: i}
+		if reg != nil {
+			it.enqueued = time.Now()
+		}
+		next <- it
 	}
 	close(next)
 	wg.Wait()
