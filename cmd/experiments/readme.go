@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// registryReadme renders README.md's full contents from the experiment
+// registry, so the documented table cannot drift from the code: the
+// drift-guard test regenerates this and fails on any difference
+// (refresh with `go test ./cmd/experiments -run TestReadmeMatchesRegistry
+// -update`).
+func registryReadme() string {
+	var b strings.Builder
+	b.WriteString(`# cmd/experiments
+
+Regenerates every experiment table in one run — the empirical validation
+of the paper's theorems (lower/upper bound sandwich, partitioned-vs-
+baseline comparisons, parameter sweeps, ablations) plus the repository's
+extensions (one-pass curve engines, hierarchies, shared L2,
+instrumentation). The process exits non-zero if any selected experiment
+fails, including the exact cross-validation experiments (E20, E21, E22),
+and rejects unknown ` + "`-run`" + ` ids.
+
+## Usage
+
+` + "```sh" + `
+go run ./cmd/experiments                 # every experiment, quick sizes
+go run ./cmd/experiments -list           # id + title of every experiment
+go run ./cmd/experiments -run E12,E19    # a selection (case-insensitive)
+go run ./cmd/experiments -jobs 4         # four experiments in flight at once
+go run ./cmd/experiments -full           # full-size graphs and windows
+go run ./cmd/experiments -run e22 -metrics m.json -v   # with observability
+` + "```" + `
+
+| Flag | Meaning |
+| --- | --- |
+| ` + "`-run ids`" + ` | comma-separated experiment ids, or ` + "`all`" + ` (default: all) |
+| ` + "`-jobs N`" + ` | experiments to run concurrently (<=1: sequential, streaming output; more: bounded pool with buffered output, printed in registry order) |
+| ` + "`-full`" + ` | full-size parameters (slower) |
+| ` + "`-seed N`" + ` | seed for randomized workloads |
+| ` + "`-list`" + ` | list experiments and exit |
+| ` + "`-metrics <file>`" + ` | write an internal/obs metrics snapshot on exit (JSON, or CSV for a ` + "`.csv`" + ` path) |
+| ` + "`-cpuprofile <file>`" + ` | write a pprof CPU profile |
+| ` + "`-memprofile <file>`" + ` | write a pprof heap profile on exit |
+| ` + "`-trace <file>`" + ` | write a runtime/trace execution trace |
+| ` + "`-v`" + ` | print the span-tree timing summary on exit |
+
+All observability artifacts flush on every exit path, failed experiments
+included. Note: with ` + "`-jobs N>1`" + ` and a live metrics session,
+E22 skips its exact counter cross-check (the deltas would include other
+experiments' concurrent traffic); run it alone for the armed check, as
+CI does.
+
+## Experiments
+
+Generated from the registry in this package; the drift-guard test fails
+if this table and the registered experiments disagree.
+
+| Id | Title |
+| --- | --- |
+`)
+	for _, e := range registrySorted() {
+		fmt.Fprintf(&b, "| %s | %s |\n", e.id, e.title)
+	}
+	b.WriteString(`
+E14 (real-memory wall-clock validation) is deliberately not in the
+registry: it measures actual hardware time, so it lives as
+` + "`BenchmarkE14RealMemory`" + ` in the root ` + "`bench_test.go`" + `
+and runs under ` + "`go test -bench`" + ` with the other per-experiment
+benchmarks.
+`)
+	return b.String()
+}
+
+// registrySorted returns the registry in presentation order without
+// mutating the package-level slice order invariants (sortRegistry is
+// idempotent, but callers of registryReadme should not have to care).
+func registrySorted() []experiment {
+	sortRegistry()
+	return registry
+}

@@ -32,6 +32,7 @@ var errUsage = errors.New(`usage:
   streamsched export -workload <name> [-o <file>]
 workloads: fmradio filterbank beamformer fft bitonic des mp3
 schedulers: flat scaled demand kohli partitioned
+profiling (misscurve, hier, shared): [-profilejobs N] shards each profiling pass across N workers (0 = GOMAXPROCS, 1 = sequential; curves are identical either way)
 observability (simulate, misscurve, hier, shared): [-metrics <file[.csv]>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>] [-v]`)
 
 // run dispatches a CLI invocation; out receives normal output.

@@ -34,6 +34,18 @@
 // ProfileShared the one-pass grid evaluator — per-processor L1 replicas
 // whose merged miss stream drives the shared-L2 profilers. Experiment E21
 // cross-validates every shared grid point against SharedSim.
+//
+// Both one-pass profilers have sharded variants, ProfileHierJobs and
+// ProfileSharedJobs, that split the grid across a worker pool fed by
+// trace's FanOut pipeline: the unit of ownership is an (L1 point, L2
+// family) pair, each owning worker keeps a deterministic private replica
+// of the L1 filter (per-processor replicas for the shared grid), and a
+// designated owner per L1 point reports its miss count. Replicas are exact
+// duplicates fed the identical stream, so curves are byte-identical to the
+// sequential path for any worker count (0 = one worker per CPU, 1 =
+// sequential) — the jobs argument is purely a speed knob, and equivalence
+// tests pin it at this layer and end to end through the schedule
+// harnesses.
 package hierarchy
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamsched/internal/cachesim"
+	"streamsched/internal/obs"
 	"streamsched/internal/trace"
 )
 
@@ -182,18 +183,23 @@ func l2Families(block int64, l2s []Level) ([]*l2Family, []l2Slot) {
 	return fams, slots
 }
 
+// newL2Group instantiates one family's fresh profilers.
+func newL2Group(fam *l2Family) *l2Group {
+	g := &l2Group{ratio: fam.ratio}
+	if fam.lru {
+		g.assoc = trace.NewAssocProfiler(fam.sets)
+	}
+	if len(fam.fifoWays) > 0 {
+		g.fifo = trace.NewFIFOProfiler(fam.sets, fam.fifoWays)
+	}
+	return g
+}
+
 // newL2Groups instantiates one fresh set of profilers per family.
 func newL2Groups(fams []*l2Family) []*l2Group {
 	groups := make([]*l2Group, len(fams))
 	for fi, fam := range fams {
-		g := &l2Group{ratio: fam.ratio}
-		if fam.lru {
-			g.assoc = trace.NewAssocProfiler(fam.sets)
-		}
-		if len(fam.fifoWays) > 0 {
-			g.fifo = trace.NewFIFOProfiler(fam.sets, fam.fifoWays)
-		}
-		groups[fi] = g
+		groups[fi] = newL2Group(fam)
 	}
 	return groups
 }
@@ -241,25 +247,15 @@ func buildFilters(spec HierSpec) []*l1Filter {
 	return filters
 }
 
-// ProfileHier evaluates the whole (L1, L2) grid from one recorded log in
-// a single replay: the organisation profilers (exact L1 curves) and the
-// per-point L1 filters (whose miss streams drive the L2 profilers) ride
-// the same ForEach, so a spilled trace is read off disk exactly once. The
-// replay honours the log's measured window, and the filters' windowed miss
-// counts are cross-checked against the organisation curves — two
-// independent implementations of every L1 point agreeing access for
-// access.
-func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-
-	// L1 curves via the PR 2 organisation profiler: group the L1 points by
-	// set count; FIFO points add their way count to the family's replay
-	// list.
+// hierOrgSpecs groups the L1 design points into organisation specs by
+// set count (FIFO points adding their way counts to the family's replay
+// list), returning the set-count → spec-index map used to find each
+// point's curves again. Shared by the sequential and sharded hierarchy
+// profilers.
+func hierOrgSpecs(l1s []Level) ([]trace.OrgSpec, map[int64]int) {
 	specIdx := make(map[int64]int)
 	var orgSpecs []trace.OrgSpec
-	for _, l1 := range spec.L1s {
+	for _, l1 := range l1s {
 		sets := l1.Sets()
 		idx, ok := specIdx[sets]
 		if !ok {
@@ -271,6 +267,83 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 			orgSpecs[idx].FIFOWays = append(orgSpecs[idx].FIFOWays, l1.EffWays())
 		}
 	}
+	return orgSpecs, specIdx
+}
+
+// assembleHier builds the HierCurves result from the organisation curves,
+// each L1 point's windowed filter miss count, and each point's L2 groups,
+// cross-checking the filter against the curve — two independent
+// implementations of every L1 point agreeing access for access.
+func assembleHier(spec HierSpec, orgCurves []*trace.OrgCurves, specIdx map[int64]int,
+	filterMisses []int64, groups [][]*l2Group, slots []l2Slot) (*HierCurves, error) {
+
+	out := &HierCurves{
+		Spec:     spec,
+		L1Misses: make([]int64, len(spec.L1s)),
+		L2Misses: make([][]int64, len(spec.L1s)),
+	}
+	if len(orgCurves) > 0 {
+		if c := orgCurves[0].LRU; c != nil {
+			out.Accesses = c.Accesses
+		}
+	}
+	for pi, l1 := range spec.L1s {
+		oc := orgCurves[specIdx[l1.Sets()]]
+		misses, ok := oc.Misses(l1.EffWays(), l1.Policy == cachesim.FIFO)
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: internal: L1 point %d not covered by its organisation curve", pi)
+		}
+		if misses != filterMisses[pi] {
+			return nil, fmt.Errorf("hierarchy: internal: L1 point %d filter saw %d misses, curve says %d",
+				pi, filterMisses[pi], misses)
+		}
+		out.L1Misses[pi] = misses
+		var err error
+		out.L2Misses[pi], err = l2MissRow(groups[pi], slots)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// publishHierGroupMetrics records one hierarchy pass's filter and L2
+// totals (no-op when reg is nil): the filter-stream length (accesses the
+// L1 filters let through — the combined length of the streams that fed
+// the L2 profilers), the L2 Fenwick work, and the grid size.
+func publishHierGroupMetrics(reg *obs.Registry, filterMisses int64, groups [][]*l2Group, points int) {
+	if reg == nil {
+		return
+	}
+	var l2Ops int64
+	for _, gs := range groups {
+		for _, g := range gs {
+			if g.assoc != nil {
+				l2Ops += g.assoc.TimelineOps()
+			}
+		}
+	}
+	reg.Counter("hier.filter.misses").Add(filterMisses)
+	reg.Counter("trace.profile.fenwick.ops").Add(l2Ops)
+	reg.Counter("hier.profile.points").Add(int64(points))
+}
+
+// ProfileHier evaluates the whole (L1, L2) grid from one recorded log in
+// a single replay: the organisation profilers (exact L1 curves) and the
+// per-point L1 filters (whose miss streams drive the L2 profilers) ride
+// the same ForEach, so a spilled trace is read off disk exactly once. The
+// replay honours the log's measured window, and the filters' windowed miss
+// counts are cross-checked against the organisation curves — two
+// independent implementations of every L1 point agreeing access for
+// access. ProfileHierJobs shards the same computation across a worker
+// pool with byte-identical results.
+func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// L1 curves via the PR 2 organisation profiler.
+	orgSpecs, specIdx := hierOrgSpecs(spec.L1s)
 	orgProfs, err := trace.NewOrgProfilers(orgSpecs)
 	if err != nil {
 		return nil, err
@@ -296,49 +369,20 @@ func ProfileHier(l *trace.Log, spec HierSpec) (*HierCurves, error) {
 	}
 	orgCurves := orgProfs.Curves()
 
-	out := &HierCurves{
-		Spec:     spec,
-		L1Misses: make([]int64, len(spec.L1s)),
-		L2Misses: make([][]int64, len(spec.L1s)),
+	misses := make([]int64, len(filters))
+	groups := make([][]*l2Group, len(filters))
+	var totalMisses int64
+	for i, f := range filters {
+		misses[i] = f.misses
+		groups[i] = f.groups
+		totalMisses += f.misses
 	}
-	if len(orgCurves) > 0 {
-		if c := orgCurves[0].LRU; c != nil {
-			out.Accesses = c.Accesses
-		}
-	}
-	for pi, l1 := range spec.L1s {
-		oc := orgCurves[specIdx[l1.Sets()]]
-		misses, ok := oc.Misses(l1.EffWays(), l1.Policy == cachesim.FIFO)
-		if !ok {
-			return nil, fmt.Errorf("hierarchy: internal: L1 point %d not covered by its organisation curve", pi)
-		}
-		if misses != filters[pi].misses {
-			return nil, fmt.Errorf("hierarchy: internal: L1 point %d filter saw %d misses, curve says %d",
-				pi, filters[pi].misses, misses)
-		}
-		out.L1Misses[pi] = misses
-		out.L2Misses[pi], err = l2MissRow(filters[pi].groups, filters[pi].slots)
-		if err != nil {
-			return nil, err
-		}
+	out, err := assembleHier(spec, orgCurves, specIdx, misses, groups, filters[0].slots)
+	if err != nil {
+		return nil, err
 	}
 	stop()
 	orgProfs.PublishMetrics(reg, orgCurves)
-	if reg != nil {
-		var filterMisses, l2Ops int64
-		for _, f := range filters {
-			filterMisses += f.misses
-			for _, g := range f.groups {
-				if g.assoc != nil {
-					l2Ops += g.assoc.TimelineOps()
-				}
-			}
-		}
-		// The filter-stream length: accesses the L1 filters let through,
-		// i.e. the combined length of the streams that fed the L2 profilers.
-		reg.Counter("hier.filter.misses").Add(filterMisses)
-		reg.Counter("trace.profile.fenwick.ops").Add(l2Ops)
-		reg.Counter("hier.profile.points").Add(int64(len(spec.L1s) * len(spec.L2s)))
-	}
+	publishHierGroupMetrics(reg, totalMisses, groups, len(spec.L1s)*len(spec.L2s))
 	return out, nil
 }

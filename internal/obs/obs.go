@@ -17,6 +17,13 @@
 // breaking change for downstream dashboards and the E22 cross-checks, and
 // must be called out in CHANGES.md like any API change. New names may be
 // added freely. The full list lives in README.md's Observability section.
+//
+// Concurrent writers are expected: the sharded profiling engine's workers
+// and the sweep pools update counters and timers from many goroutines.
+// Counter and Gauge are lock-free atomics; Timer takes a mutex per
+// observation, so hot loops should batch (observe once per chunk of work,
+// as the per-worker profile.shard.<w>.busy timers do) rather than once per
+// item.
 package obs
 
 import (

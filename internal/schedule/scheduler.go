@@ -37,6 +37,12 @@ type Env struct {
 	// to the process-wide obs.Default(), which is itself nil — fully
 	// disabled — unless a CLI session or test installed one.
 	Metrics *obs.Registry
+	// ProfileJobs is the worker count the trace-profiling stages shard
+	// across (trace.ProfileOrgsJobs and the hierarchy equivalents): 0 —
+	// the zero value — uses one worker per CPU, 1 forces the sequential
+	// path, larger values pin the count. The sharded and sequential paths
+	// produce byte-identical curves, so this is purely a speed knob.
+	ProfileJobs int
 }
 
 // metrics resolves the environment's registry (explicit, else the process

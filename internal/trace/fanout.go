@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamsched/internal/obs"
+)
+
+// Parallel replay fan-out: one decode of the log feeds many consumers
+// concurrently. The decoder (the calling goroutine) streams varint chunks
+// through the ordinary ForEach path — so spilled traces are read off disk
+// exactly once and Replays() still counts one — and accumulates the
+// decoded accesses into fixed-size refcounted batches that are broadcast
+// to every consumer over bounded channels. Resident memory is therefore
+// flat regardless of trace length: at most consumers*(fanQueueDepth+1)+1
+// batches are in flight, and drained batches are recycled through a pool.
+//
+// Each consumer runs on its own goroutine and receives the complete
+// stream in recorded order; parallelism comes from consumers that ignore
+// the accesses they do not own (the shard profilers route by set index).
+// Window semantics are Log.ForEachWindowed's, replicated per consumer:
+// ResetCounts fires exactly when the measured window begins, or once at
+// the end when the window mark sits at or past the last access.
+
+const (
+	// fanBatchSize is the number of decoded accesses per broadcast batch:
+	// large enough to amortise channel operations, small enough (32KB of
+	// block ids) to stay cache-resident while a worker scans it.
+	fanBatchSize = 4096
+	// fanQueueDepth is the per-consumer channel buffer, in batches. It
+	// bounds how far the decoder may run ahead of the slowest consumer.
+	fanQueueDepth = 4
+)
+
+// A WindowedConsumer consumes one windowed replay of a trace on a single
+// goroutine: Touch receives every access in recorded order, and
+// ResetCounts is invoked exactly once, when the measured window begins
+// (warm-then-reset-counts, like Log.ForEachWindowed). OrgProfilers and
+// the shard profilers implement it.
+type WindowedConsumer interface {
+	ResetCounts()
+	Touch(blk int64)
+}
+
+// A ProcWindowedConsumer is the multiprocessor form: TouchProc receives
+// every access in recorded global order, tagged with the recording
+// processor.
+type ProcWindowedConsumer interface {
+	ResetCounts()
+	TouchProc(proc int, blk int64)
+}
+
+// fanBatch is one broadcast unit: a run of consecutive decoded accesses
+// starting at global index start, shared read-only by every consumer and
+// recycled once the last one releases it.
+type fanBatch struct {
+	start int64
+	blks  []int64
+	procs []int32 // recording processor per access; empty for plain logs
+	refs  atomic.Int32
+}
+
+var fanBatchPool = sync.Pool{New: func() any {
+	return &fanBatch{blks: make([]int64, 0, fanBatchSize)}
+}}
+
+func getFanBatch() *fanBatch {
+	b := fanBatchPool.Get().(*fanBatch)
+	b.blks = b.blks[:0]
+	b.procs = b.procs[:0]
+	return b
+}
+
+// FanOut replays the log exactly once and streams every recorded access,
+// in order, to each consumer concurrently (one goroutine per consumer),
+// honouring the measured window per consumer. It returns after every
+// consumer has processed the full stream, so the caller may read consumer
+// state without further synchronisation. An empty consumer list replays
+// nothing and returns nil.
+func (l *Log) FanOut(consumers []WindowedConsumer) error {
+	if len(consumers) == 0 {
+		return nil
+	}
+	return l.fanOut(nil, len(consumers), func(w int, b *fanBatch, window int64, resetDone *bool) {
+		c := consumers[w]
+		if !*resetDone && b.start+int64(len(b.blks)) > window {
+			for k, blk := range b.blks {
+				if !*resetDone && b.start+int64(k) >= window {
+					c.ResetCounts()
+					*resetDone = true
+				}
+				c.Touch(blk)
+			}
+			return
+		}
+		for _, blk := range b.blks {
+			c.Touch(blk)
+		}
+	}, func(w int) { consumers[w].ResetCounts() })
+}
+
+// FanOut replays the multiprocessor trace exactly once and streams every
+// access, tagged with its recording processor, to each consumer
+// concurrently. Semantics are Log.FanOut's.
+func (pl *ProcLog) FanOut(consumers []ProcWindowedConsumer) error {
+	if len(consumers) == 0 {
+		return nil
+	}
+	return pl.log.fanOut(pl, len(consumers), func(w int, b *fanBatch, window int64, resetDone *bool) {
+		c := consumers[w]
+		if !*resetDone && b.start+int64(len(b.blks)) > window {
+			for k, blk := range b.blks {
+				if !*resetDone && b.start+int64(k) >= window {
+					c.ResetCounts()
+					*resetDone = true
+				}
+				c.TouchProc(int(b.procs[k]), blk)
+			}
+			return
+		}
+		for k, blk := range b.blks {
+			c.TouchProc(int(b.procs[k]), blk)
+		}
+	}, func(w int) { consumers[w].ResetCounts() })
+}
+
+// fanOut is the shared decode→broadcast engine behind Log.FanOut and
+// ProcLog.FanOut. The calling goroutine decodes (one ForEach — one
+// replay), batches, and broadcasts; n worker goroutines drain their
+// channels through consume, then finalReset handles the empty-window
+// case. pl non-nil layers the run-length processor tags into the batches.
+func (l *Log) fanOut(pl *ProcLog, n int,
+	consume func(w int, b *fanBatch, window int64, resetDone *bool),
+	finalReset func(w int)) error {
+
+	window := l.window
+	met := l.metrics()
+	var batchesC *obs.Counter
+	var depthG *obs.Gauge
+	busy := make([]*obs.Timer, n)
+	if met.reg != nil {
+		batchesC = met.reg.Counter("profile.pipeline.batches")
+		depthG = met.reg.Gauge("profile.pipeline.queue.depth")
+		met.reg.Gauge("profile.shard.workers").Max(int64(n))
+		for w := range busy {
+			busy[w] = met.reg.Timer(fmt.Sprintf("profile.shard.%d.busy", w))
+		}
+	}
+
+	chans := make([]chan *fanBatch, n)
+	for w := range chans {
+		chans[w] = make(chan *fanBatch, fanQueueDepth)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			resetDone := false
+			for b := range chans[w] {
+				var t0 time.Time
+				if busy[w] != nil {
+					t0 = time.Now()
+				}
+				consume(w, b, window, &resetDone)
+				if busy[w] != nil {
+					busy[w].Observe(time.Since(t0))
+				}
+				if b.refs.Add(-1) == 0 {
+					fanBatchPool.Put(b)
+				}
+			}
+			if !resetDone {
+				finalReset(w)
+			}
+		}(w)
+	}
+
+	var cur *fanBatch
+	next := int64(0)
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		if len(cur.blks) == 0 {
+			fanBatchPool.Put(cur)
+			cur = nil
+			return
+		}
+		cur.refs.Store(int32(n))
+		batchesC.Add(1)
+		for _, ch := range chans {
+			depthG.Max(int64(len(ch)) + 1)
+			ch <- cur
+		}
+		cur = nil
+	}
+	emit := func(proc int32, blk int64) {
+		if cur == nil {
+			cur = getFanBatch()
+			cur.start = next
+		}
+		cur.blks = append(cur.blks, blk)
+		if pl != nil {
+			cur.procs = append(cur.procs, proc)
+		}
+		next++
+		if len(cur.blks) >= fanBatchSize {
+			flush()
+		}
+	}
+
+	var err error
+	if pl != nil {
+		run, left := 0, int64(0)
+		err = l.ForEach(func(blk int64) {
+			for left == 0 {
+				left = pl.runs[run].n
+				run++
+			}
+			left--
+			emit(int32(pl.runs[run-1].proc), blk)
+		})
+	} else {
+		err = l.ForEach(func(blk int64) { emit(0, blk) })
+	}
+	if err == nil {
+		flush()
+	} else if cur != nil {
+		fanBatchPool.Put(cur)
+		cur = nil
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return err
+}

@@ -40,6 +40,35 @@ func BenchmarkProfileOrgs(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileOrgsSharded is BenchmarkProfileOrgs through the sharded
+// engine at one worker per CPU: same log, same seven organisations, decode
+// pipeline feeding per-set shards. At GOMAXPROCS=1 this delegates to the
+// sequential path; the CI bench job runs it on multiple cores, where the
+// paired diff against BenchmarkProfileOrgs is the speedup evidence.
+func BenchmarkProfileOrgsSharded(b *testing.B) {
+	stream := benchStream(400000, 512)
+	log := trace.NewLog()
+	for _, blk := range stream {
+		log.RecordBlock(blk)
+	}
+	specs := []trace.OrgSpec{
+		{Sets: 1, FIFOWays: []int64{32, 64, 128}},
+		{Sets: 4, FIFOWays: []int64{8}},
+		{Sets: 8, FIFOWays: []int64{8, 4}},
+		{Sets: 16, FIFOWays: []int64{8, 4}},
+		{Sets: 32, FIFOWays: []int64{4, 1}},
+		{Sets: 64, FIFOWays: []int64{1}},
+		{Sets: 128, FIFOWays: []int64{1}},
+	}
+	jobs := trace.ProfileWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ProfileOrgsJobs(log, specs, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAssocProfiler measures the per-set hybrid stack alone at a
 // realistic shard count.
 func BenchmarkAssocProfiler(b *testing.B) {

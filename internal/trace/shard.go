@@ -1,0 +1,403 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"streamsched/internal/obs"
+)
+
+// Sharded organisation profiling. Per-set Mattson stacks and per-set FIFO
+// rows are mutually independent — set index is a pure function of the
+// block id — so the per-set state of every OrgSpec can be partitioned
+// across W workers that each scan the full decoded stream (via FanOut)
+// and touch only the structures they own. One partition serves every spec
+// at once: a structure's owner is (set + salt) mod W, where the salt is a
+// deterministic per-structure rotation so the heavyweight singleton
+// structures (a fully-associative spec has one set — one Fenwick stack,
+// one FIFO row per way count) land on distinct workers instead of piling
+// onto worker 0. For nested power-of-two set counts the rotation
+// preserves the property that each access touches at most one worker's
+// state per structure, so sharded work per worker is ~1/W of sequential.
+//
+// The merge is exact, not approximate: every per-set structure is
+// identical to the one the sequential profiler would have built (same
+// dense within-set id space, same hybrid list→Fenwick upgrade, same FIFO
+// rows), so reassembling the per-set curves in set order reproduces the
+// sequential curves byte for byte. FIFO Accesses/Cold totals are taken
+// from the spec's LRU curve: both sequential profilers count the same
+// in-window accesses, and a block's first-ever access is first-ever in
+// its set's stack exactly when it is first-ever globally, so the totals
+// coincide by construction (the property tests assert this equality
+// against the sequential path).
+
+// OrgShards partitions the per-set profiler state of a spec list across a
+// fixed number of workers. Each worker drives its shard — a
+// WindowedConsumer — over the full access stream; Curves then reassembles
+// the exact per-spec curves. Construct with NewOrgShards.
+type OrgShards struct {
+	specs []OrgSpec
+	n     int
+	plans []shardPlan
+	parts []*OrgShard
+
+	// assocParts[i][w] is worker w's slice of spec i's per-set LRU stacks
+	// (nil when w owns none); fifoParts[i][wi][w] likewise for the spec's
+	// wi-th replayed FIFO way count.
+	assocParts [][]*assocShard
+	fifoParts  [][][]*fifoShard
+}
+
+// shardPlan records one spec's structure→worker rotation.
+type shardPlan struct {
+	sets      int64
+	assocSalt int
+	fifoWays  []int64 // deduplicated, ascending: FIFOCurve's order
+	fifoSalts []int
+}
+
+// OrgShard is one worker's partition: the per-set stacks and FIFO rows it
+// owns across every spec. It implements WindowedConsumer; Touch routes
+// each access by set index and ignores sets owned elsewhere.
+type OrgShard struct {
+	n       int64
+	specs   []shardSpecState
+	touches int64 // structure touches this shard performed (obs)
+}
+
+// shardSpecState is one spec's owned structures within a shard. Specs a
+// worker owns nothing of are pruned at build time.
+type shardSpecState struct {
+	sets  int64
+	assoc *assocShard // nil when this worker owns no LRU sets of the spec
+	fifo  []*fifoShard
+}
+
+// assocShard is the worker-local slice of one spec's per-set LRU stacks:
+// the sets congruent to r mod n, stored densely in ascending set order.
+type assocShard struct {
+	r, n, sets int64
+	per        []setStack
+}
+
+// fifoShard is the worker-local slice of one (spec, way count) FIFO
+// bank: rows for the sets congruent to r mod n. State per row is
+// identical to the sequential fifoSim's, so miss counts merge by sum.
+type fifoShard struct {
+	r, n, sets int64
+	ways       int64
+	blk        []int64 // localSets*ways entries, -1 = empty
+	head       []int32
+	resident   map[int64]struct{} // ways > fifoScanLimit, like fifoSim
+	misses     int64
+}
+
+// shardResidue is the residue class mod n that worker w owns for a
+// structure rotated by salt: (set + salt) mod n == w  ⇔  set mod n == r.
+func shardResidue(w, salt, n int) int64 {
+	return int64(((w-salt)%n + n) % n)
+}
+
+// localSets is how many of sets fall in residue class r mod n.
+func localSets(sets, r, n int64) int64 {
+	if r >= sets {
+		return 0
+	}
+	return (sets-1-r)/n + 1
+}
+
+// NewOrgShards validates the specs and builds every worker's partition
+// for n workers. It panics if n < 1 (programmer error, like
+// NewAssocProfiler's set count).
+func NewOrgShards(specs []OrgSpec, n int) (*OrgShards, error) {
+	if n < 1 {
+		panic("trace: OrgShards needs at least one worker")
+	}
+	s := &OrgShards{
+		specs:      specs,
+		n:          n,
+		plans:      make([]shardPlan, len(specs)),
+		parts:      make([]*OrgShard, n),
+		assocParts: make([][]*assocShard, len(specs)),
+		fifoParts:  make([][][]*fifoShard, len(specs)),
+	}
+	for w := range s.parts {
+		s.parts[w] = &OrgShard{n: int64(n)}
+	}
+	salt := 0
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		plan := shardPlan{sets: sp.Sets, assocSalt: salt}
+		salt++
+		if len(sp.FIFOWays) > 0 {
+			uniq := make([]int64, 0, len(sp.FIFOWays))
+			seen := make(map[int64]bool, len(sp.FIFOWays))
+			for _, w := range sp.FIFOWays {
+				if !seen[w] {
+					seen[w] = true
+					uniq = append(uniq, w)
+				}
+			}
+			sort.Slice(uniq, func(a, b int) bool { return uniq[a] < uniq[b] })
+			plan.fifoWays = uniq
+			plan.fifoSalts = make([]int, len(uniq))
+			for wi := range uniq {
+				plan.fifoSalts[wi] = salt
+				salt++
+			}
+		}
+		s.plans[i] = plan
+
+		s.assocParts[i] = make([]*assocShard, n)
+		s.fifoParts[i] = make([][]*fifoShard, len(plan.fifoWays))
+		states := make([]*shardSpecState, n) // lazily created per worker
+		state := func(w int) *shardSpecState {
+			if states[w] == nil {
+				s.parts[w].specs = append(s.parts[w].specs, shardSpecState{sets: sp.Sets})
+				states[w] = &s.parts[w].specs[len(s.parts[w].specs)-1]
+			}
+			return states[w]
+		}
+		for w := 0; w < n; w++ {
+			r := shardResidue(w, plan.assocSalt, n)
+			ls := localSets(sp.Sets, r, int64(n))
+			if ls == 0 {
+				continue
+			}
+			a := &assocShard{r: r, n: int64(n), sets: sp.Sets, per: make([]setStack, ls)}
+			for k := range a.per {
+				a.per[k].list = &listStack{}
+			}
+			state(w).assoc = a
+			s.assocParts[i][w] = a
+		}
+		for wi, ways := range plan.fifoWays {
+			s.fifoParts[i][wi] = make([]*fifoShard, n)
+			for w := 0; w < n; w++ {
+				r := shardResidue(w, plan.fifoSalts[wi], n)
+				ls := localSets(sp.Sets, r, int64(n))
+				if ls == 0 {
+					continue
+				}
+				f := &fifoShard{r: r, n: int64(n), sets: sp.Sets, ways: ways,
+					blk: make([]int64, ls*ways), head: make([]int32, ls)}
+				for j := range f.blk {
+					f.blk[j] = -1
+				}
+				if ways > fifoScanLimit {
+					f.resident = make(map[int64]struct{}, ls*ways)
+				}
+				state(w).fifo = append(state(w).fifo, f)
+				s.fifoParts[i][wi][w] = f
+			}
+		}
+	}
+	return s, nil
+}
+
+// Workers returns the worker count the partition was built for.
+func (s *OrgShards) Workers() int { return s.n }
+
+// Shard returns worker w's partition, a WindowedConsumer to be driven
+// over the full access stream (normally via Log.FanOut).
+func (s *OrgShards) Shard(w int) *OrgShard { return s.parts[w] }
+
+// ResetCounts starts the measured window on this shard's structures.
+func (s *OrgShard) ResetCounts() {
+	for i := range s.specs {
+		sp := &s.specs[i]
+		if sp.assoc != nil {
+			for k := range sp.assoc.per {
+				sp.assoc.per[k].resetCounts()
+			}
+		}
+		for _, f := range sp.fifo {
+			f.misses = 0
+		}
+	}
+}
+
+// Touch routes one access: for each spec the worker owns structures of,
+// the block's set index is computed once and only owned structures are
+// fed. Non-owned sets cost one modulo and a compare per spec.
+func (s *OrgShard) Touch(blk int64) {
+	n := s.n
+	for i := range s.specs {
+		sp := &s.specs[i]
+		set := blk % sp.sets
+		if set < 0 {
+			set += sp.sets
+		}
+		res := set % n
+		if a := sp.assoc; a != nil && res == a.r {
+			// Same dense within-set id the sequential profiler feeds.
+			a.per[(set-a.r)/n].touch((blk - set) / sp.sets)
+			s.touches++
+		}
+		for _, f := range sp.fifo {
+			if res == f.r {
+				f.touch(set, blk)
+				s.touches++
+			}
+		}
+	}
+}
+
+// touch mirrors fifoSim.touch on the worker-local row of the set.
+func (f *fifoShard) touch(set, blk int64) {
+	base := (set - f.r) / f.n * f.ways
+	row := f.blk[base : base+f.ways]
+	if f.resident != nil {
+		if _, ok := f.resident[blk]; ok {
+			return // FIFO hit: no reorder
+		}
+	} else {
+		for _, b := range row {
+			if b == blk {
+				return // FIFO hit: no reorder
+			}
+		}
+	}
+	f.misses++
+	h := f.head[(set-f.r)/f.n]
+	if f.resident != nil {
+		if victim := row[h]; victim >= 0 {
+			delete(f.resident, victim)
+		}
+		f.resident[blk] = struct{}{}
+	}
+	row[h] = blk
+	h++
+	if int64(h) == f.ways {
+		h = 0
+	}
+	f.head[(set-f.r)/f.n] = h
+}
+
+// Curves reassembles the exact per-spec curves from the worker
+// partitions, in spec order — byte-identical to what ProfileOrgs'
+// sequential profilers produce from the same stream.
+func (s *OrgShards) Curves() []*OrgCurves {
+	out := make([]*OrgCurves, len(s.specs))
+	for i, sp := range s.specs {
+		plan := s.plans[i]
+		ac := &AssocCurve{Sets: plan.sets, per: make([]*MissCurve, plan.sets)}
+		for set := int64(0); set < plan.sets; set++ {
+			w := (int(set) + plan.assocSalt) % s.n
+			a := s.assocParts[i][w]
+			mc := a.per[(set-a.r)/a.n].curve()
+			ac.per[set] = mc
+			ac.Accesses += mc.Accesses
+			ac.Cold += mc.Cold
+		}
+		oc := &OrgCurves{Spec: sp, LRU: ac}
+		if len(plan.fifoWays) > 0 {
+			fc := &FIFOCurve{
+				Sets: plan.sets,
+				// Both sequential profilers count identical in-window
+				// access and first-ever totals; see the package comment.
+				Accesses: ac.Accesses,
+				Cold:     ac.Cold,
+				ways:     append([]int64(nil), plan.fifoWays...),
+				misses:   make([]int64, len(plan.fifoWays)),
+			}
+			for wi := range plan.fifoWays {
+				for w := 0; w < s.n; w++ {
+					if f := s.fifoParts[i][wi][w]; f != nil {
+						fc.misses[wi] += f.misses
+					}
+				}
+			}
+			oc.FIFO = fc
+		}
+		out[i] = oc
+	}
+	return out
+}
+
+// TimelineOps returns the total Fenwick-timeline operation count across
+// every worker's upgraded set stacks — the same total the sequential
+// profilers would report, since the per-set structures are identical.
+func (s *OrgShards) TimelineOps() int64 {
+	var ops int64
+	for _, part := range s.parts {
+		for i := range part.specs {
+			if a := part.specs[i].assoc; a != nil {
+				for k := range a.per {
+					if m := a.per[k].mat; m != nil {
+						ops += m.TimelineOps()
+					}
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// PublishMetrics records a completed sharded pass's totals into reg,
+// mirroring OrgProfilers.PublishMetrics plus the per-shard touch
+// counters (profile.shard.<w>.touches). No-op when reg is nil.
+func (s *OrgShards) PublishMetrics(reg *obs.Registry, curves []*OrgCurves) {
+	if reg == nil {
+		return
+	}
+	var accesses int64
+	if len(curves) > 0 {
+		accesses = curves[0].LRU.Accesses
+	}
+	reg.Counter("trace.profile.accesses").Add(accesses)
+	reg.Counter("trace.profile.fenwick.ops").Add(s.TimelineOps())
+	reg.Counter("trace.profile.passes").Add(1)
+	for w, part := range s.parts {
+		reg.Counter(fmt.Sprintf("profile.shard.%d.touches", w)).Add(part.touches)
+	}
+}
+
+// profileWorkers resolves a jobs knob to a worker count: <= 0 means one
+// worker per available CPU (GOMAXPROCS), 1 forces the sequential path,
+// larger values are taken as given. Shared by every ProfileJobs entry
+// point and schedule.Env.ProfileJobs.
+func profileWorkers(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// ProfileWorkers is the exported form of the jobs→workers convention,
+// for callers (the hierarchy profilers, the CLI) that need to resolve
+// the knob themselves.
+func ProfileWorkers(jobs int) int { return profileWorkers(jobs) }
+
+// ProfileOrgsJobs is ProfileOrgs with the profiling work sharded across
+// a worker pool: jobs <= 0 uses one worker per CPU, 1 is exactly
+// ProfileOrgs, and larger values pin the worker count. The trace is
+// decoded once (streamed straight off the spill file through the FanOut
+// pipeline) and the returned curves are byte-identical to the sequential
+// path's, in spec order.
+func ProfileOrgsJobs(l *Log, specs []OrgSpec, jobs int) ([]*OrgCurves, error) {
+	w := profileWorkers(jobs)
+	if w <= 1 {
+		return ProfileOrgs(l, specs)
+	}
+	shards, err := NewOrgShards(specs, w)
+	if err != nil {
+		return nil, err
+	}
+	reg := l.Metrics()
+	stop := reg.Timer("trace.profile").Start()
+	consumers := make([]WindowedConsumer, w)
+	for i := range consumers {
+		consumers[i] = shards.Shard(i)
+	}
+	if err := l.FanOut(consumers); err != nil {
+		return nil, err
+	}
+	curves := shards.Curves()
+	stop()
+	shards.PublishMetrics(reg, curves)
+	return curves, nil
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// randomShardLog builds a trace with a mix of strided, looping, and random
+// accesses (including negative block ids, which the set routing must
+// floor-fix), windowed at a random position.
+func randomShardLog(t *testing.T, rng *rand.Rand, n int, spill bool) *Log {
+	t.Helper()
+	l := NewLog()
+	if spill {
+		l.SetSpillThreshold(1) // spill every sealed chunk
+		n *= 30                // enough encoded bytes to actually seal chunks
+	}
+	blocks := int64(rng.Intn(600) + 8)
+	warm := rng.Intn(n + 1)
+	for i := 0; i < n; i++ {
+		if i == warm {
+			l.MarkWindow()
+		}
+		var blk int64
+		switch rng.Intn(4) {
+		case 0:
+			blk = int64(i) % blocks // streaming stride
+		case 1:
+			blk = int64(rng.Intn(int(blocks))) // uniform reuse
+		case 2:
+			blk = int64(rng.Intn(32)) // hot set
+		default:
+			blk = -int64(rng.Intn(64)) - 1 // negative ids
+		}
+		l.RecordBlock(blk)
+	}
+	if warm >= n {
+		l.MarkWindow() // empty window: reset fires at end
+	}
+	if spill && !l.Spilled() {
+		t.Fatal("spill variant did not spill; grow the trace")
+	}
+	return l
+}
+
+// shardSpecPool mixes set counts (1 = fully associative, powers of two,
+// odd counts), FIFO way lists (incl. > fifoScanLimit to exercise the hash
+// membership path), and LRU-only specs.
+func shardSpecPool() [][]OrgSpec {
+	return [][]OrgSpec{
+		{{Sets: 1}},
+		{{Sets: 1, FIFOWays: []int64{32, 64, 128}}, {Sets: 4, FIFOWays: []int64{8}}, {Sets: 8, FIFOWays: []int64{8, 4}}, {Sets: 16, FIFOWays: []int64{8, 4}}, {Sets: 32, FIFOWays: []int64{4, 1}}, {Sets: 64, FIFOWays: []int64{1}}, {Sets: 128, FIFOWays: []int64{1}}},
+		{{Sets: 3, FIFOWays: []int64{2, 24}}, {Sets: 5}, {Sets: 7, FIFOWays: []int64{1, 1, 3}}},
+		{{Sets: 2, FIFOWays: []int64{17}}, {Sets: 1, FIFOWays: []int64{200}}},
+	}
+}
+
+// TestProfileOrgsJobsMatchesSequential is the shard router's core
+// property: for random traces and spec grids, the sharded curves must be
+// byte-identical to the sequential ones at every worker count, spilled or
+// in-memory, and the trace must still be decoded exactly once per pass.
+func TestProfileOrgsJobsMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobsList := []int{1, 2, 3, runtime.NumCPU(), 16}
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		for _, specs := range shardSpecPool() {
+			for _, spill := range []bool{false, true} {
+				l := randomShardLog(t, rng, 3000+rng.Intn(2000), spill)
+				want, err := ProfileOrgs(l, specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, jobs := range jobsList {
+					before := l.Replays()
+					got, err := ProfileOrgsJobs(l, specs, jobs)
+					if err != nil {
+						t.Fatalf("jobs=%d: %v", jobs, err)
+					}
+					if l.Replays() != before+1 {
+						t.Fatalf("jobs=%d: %d replays for one pass", jobs, l.Replays()-before)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d specs %v spill=%v jobs=%d: sharded curves differ from sequential", trial, specs, spill, jobs)
+					}
+				}
+				if err := l.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileOrgsJobsWindowEdges pins the window protocol's corners:
+// window at 0 (whole trace measured), window at Len (empty window), and
+// an empty log.
+func TestProfileOrgsJobsWindowEdges(t *testing.T) {
+	specs := []OrgSpec{{Sets: 1, FIFOWays: []int64{4}}, {Sets: 4}}
+	for _, mark := range []int{-1, 0, 50} { // -1: never mark (window 0)
+		l := NewLog()
+		for i := 0; i < 50; i++ {
+			if i == mark {
+				l.MarkWindow()
+			}
+			l.RecordBlock(int64(i % 13))
+		}
+		if mark == 50 {
+			l.MarkWindow()
+		}
+		want, err := ProfileOrgs(l, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProfileOrgsJobs(l, specs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mark=%d: sharded curves differ", mark)
+		}
+	}
+
+	empty := NewLog()
+	want, err := ProfileOrgs(empty, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ProfileOrgsJobs(empty, specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("empty log: sharded curves differ")
+	}
+}
+
+// TestProfileOrgsJobsMoreWorkersThanState covers worker counts exceeding
+// every structure count: extra shards own nothing and must stay inert.
+func TestProfileOrgsJobsMoreWorkersThanState(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 500; i++ {
+		l.RecordBlock(int64(i % 9))
+	}
+	l.MarkWindow()
+	for i := 0; i < 500; i++ {
+		l.RecordBlock(int64((i * 3) % 9))
+	}
+	specs := []OrgSpec{{Sets: 2, FIFOWays: []int64{2}}}
+	want, err := ProfileOrgs(l, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ProfileOrgsJobs(l, specs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sharded curves differ with idle workers")
+	}
+}
+
+// recordingConsumer captures the stream a FanOut consumer sees, with the
+// reset position, for comparison against ForEachWindowed.
+type recordingConsumer struct {
+	blks    []int64
+	resetAt int
+	resets  int
+}
+
+func (r *recordingConsumer) ResetCounts() { r.resetAt = len(r.blks); r.resets++ }
+func (r *recordingConsumer) Touch(blk int64) {
+	r.blks = append(r.blks, blk)
+}
+
+// TestFanOutMatchesForEachWindowed checks the pipeline's delivery
+// contract directly: every consumer sees the full stream in order with
+// exactly one reset at the window position.
+func TestFanOutMatchesForEachWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		spill := trial%2 == 1
+		l := randomShardLog(t, rng, 2500+rng.Intn(3000), spill)
+
+		var wantBlks []int64
+		wantReset := -1
+		if err := l.ForEachWindowed(
+			func() { wantReset = len(wantBlks) },
+			func(blk int64) { wantBlks = append(wantBlks, blk) },
+		); err != nil {
+			t.Fatal(err)
+		}
+
+		cons := make([]WindowedConsumer, 3)
+		recs := make([]*recordingConsumer, 3)
+		for i := range cons {
+			recs[i] = &recordingConsumer{resetAt: -1}
+			cons[i] = recs[i]
+		}
+		if err := l.FanOut(cons); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range recs {
+			if r.resets != 1 {
+				t.Fatalf("consumer %d: %d resets", i, r.resets)
+			}
+			if r.resetAt != wantReset {
+				t.Fatalf("consumer %d: reset at %d, want %d", i, r.resetAt, wantReset)
+			}
+			if !reflect.DeepEqual(r.blks, wantBlks) {
+				t.Fatalf("consumer %d: stream differs from ForEachWindowed", i)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProfileOrgsJobsConcurrentLogs hammers independent logs profiled in
+// parallel from multiple goroutines — the Sweep shape — to give the race
+// detector interleavings beyond a single pipeline.
+func TestProfileOrgsJobsConcurrentLogs(t *testing.T) {
+	specs := []OrgSpec{{Sets: 1, FIFOWays: []int64{8}}, {Sets: 8, FIFOWays: []int64{2}}}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			l := randomShardLog(t, rng, 4000, seed%2 == 0)
+			want, err := ProfileOrgs(l, specs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := ProfileOrgsJobs(l, specs, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("sharded curves differ under concurrent profiling")
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

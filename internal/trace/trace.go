@@ -37,6 +37,29 @@
 //     shared-L2 hierarchy paths.
 //   - Sweep runs a pool of profiling jobs (schedulers x workloads) on a
 //     bounded number of goroutines.
+//   - ProfileOrgsJobs is the sharded engine: FanOut streams one decode of
+//     the log through refcounted batches into per-worker bounded channels,
+//     and OrgShards gives each worker exclusive ownership of a subset of
+//     every structure's sets (set placement is blk mod sets, so sets never
+//     interact). Worker counts follow one convention everywhere: 0 means
+//     one worker per CPU, 1 forces the sequential path, n uses n workers.
+//
+// Three invariants hold on every path through this package, and tests pin
+// each:
+//
+//   - Exactness: every curve equals what the cachesim simulator reports at
+//     the corresponding configuration — profiling is a faster evaluation
+//     order, never an approximation. This extends to the sharded engine,
+//     whose results are byte-identical to sequential (reassembled by set
+//     ownership, not merged numerically) for any worker count.
+//   - One replay: a profiling call pays exactly one decode of the log,
+//     however many organisations (or workers) it drives; Replays() is the
+//     observable counter. Spilled logs stream chunk by chunk from disk, so
+//     resident memory is flat in the trace length on both paths.
+//   - Deterministic windows: ForEachWindowed and FanOut reset per-window
+//     counters at exactly the recorded MarkWindow position; first-ever
+//     (cold) tracking deliberately survives the reset, on every consumer,
+//     sequential or sharded.
 package trace
 
 // Recorder receives one event per block-level cache access, in execution
