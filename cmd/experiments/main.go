@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-run E1,E4] [-jobs N] [-full] [-seed N]
-//	            [-metrics <file>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>] [-v]
+//	            [-metrics <file>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>]
+//	            [-listen <addr>] [-v]
 //
 // By default every experiment runs with moderate ("quick") parameters;
 // -full enlarges graphs and measurement windows. -jobs N runs up to N
@@ -19,16 +20,21 @@
 // The observability flags mirror streamsched's: -metrics writes an
 // internal/obs snapshot (JSON, or CSV for a .csv path) on exit,
 // -cpuprofile/-memprofile/-trace capture pprof and runtime/trace
-// artifacts, and -v prints the span-tree timing summary. All of them
-// flush on every exit path, failures included.
+// artifacts, -listen serves live introspection (/metrics, /metrics.json,
+// /spans, /debug/pprof) while the harness runs, and -v prints the
+// span-tree timing summary. All of them flush on every exit path,
+// failures included. Each experiment runs under a pprof experiment=<id>
+// label, so CPU profiles attribute samples per experiment.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -78,6 +84,7 @@ func realMain() (code int) {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	traceOut := flag.String("trace", "", "write a runtime/trace execution trace here")
+	listen := flag.String("listen", "", "serve live introspection on this address while the harness runs")
 	verbose := flag.Bool("v", false, "print the span-tree timing summary on exit")
 	flag.Parse()
 
@@ -98,6 +105,7 @@ func realMain() (code int) {
 		CPUProfile: *cpuprofile,
 		MemProfile: *memprofile,
 		Trace:      *traceOut,
+		Listen:     *listen,
 		Verbose:    *verbose,
 		Log:        os.Stdout,
 	})
@@ -172,7 +180,10 @@ func runExperiments(exps []experiment, cfg runConfig, jobs int, out io.Writer) i
 		start := time.Now()
 		ecfg := cfg
 		ecfg.out = w
-		err := e.run(ecfg)
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("experiment", e.id), func(context.Context) {
+			err = e.run(ecfg)
+		})
 		if err != nil {
 			fmt.Fprintf(w, "%s failed: %v\n", e.id, err)
 		}

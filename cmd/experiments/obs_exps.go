@@ -23,7 +23,10 @@ func init() {
 // private one otherwise), and the counter deltas it publishes are checked
 // exactly: trace.accesses must equal the sum of recorded trace lengths,
 // and trace.profile.accesses must equal the access totals the exact cache
-// simulator reports for the same schedules. A second part records one
+// simulator reports for the same schedules. Histogram observation counts
+// are cross-checked against the counters the same way — every replay must
+// have recorded exactly one trace.replay observation, every sweep job one
+// queue wait and one duration. A second part records one
 // trace manually and splits its replay cost into decode (a bare ForEach),
 // profile (Fenwick/stack maintenance), and merge (curve extraction) — the
 // breakdown the aggregate trace.profile timer hides.
@@ -121,6 +124,17 @@ func runE22(cfg runConfig) error {
 			// the per-measure env one, so it only shows up when live.
 			addCheck("sweep.jobs", swept.CounterDelta(base, "sweep.jobs"),
 				int64(len(scheds)), "one sweep job per scheduler")
+		}
+		// Histogram observation counts vs counters: timers route through
+		// same-named histogram siblings, and the aggregate histograms must
+		// agree observation-for-observation with the counters.
+		addCheck("trace.replay histogram count", swept.HistogramCountDelta(base, "trace.replay"),
+			swept.CounterDelta(base, "trace.replays"), "one observation per replay")
+		if obs.Default() == reg {
+			addCheck("sweep.queue.wait histogram count", swept.HistogramCountDelta(base, "sweep.queue.wait"),
+				swept.CounterDelta(base, "sweep.jobs"), "one queue wait per sweep job")
+			addCheck("sweep.job.duration histogram count", swept.HistogramCountDelta(base, "sweep.job.duration"),
+				swept.CounterDelta(base, "sweep.jobs"), "one duration per sweep job")
 		}
 	}
 	if err := tb.Render(cfg.out); err != nil {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamsched/internal/obs"
+)
+
+// TestRenderWithBase pins the base-vs-head markdown: counter deltas,
+// shift formatting, and histogram percentile transitions.
+func TestRenderWithBase(t *testing.T) {
+	base := &obs.Snapshot{
+		Counters: map[string]int64{"trace.accesses": 100, "trace.replays": 2},
+		Gauges:   map[string]int64{"sweep.workers": 4},
+		Histograms: map[string]obs.HistogramStats{
+			"sweep.queue.wait": {Count: 10, P50: 500, P90: 900, P99: 1000, Max: 1000},
+		},
+	}
+	head := &obs.Snapshot{
+		Counters: map[string]int64{"trace.accesses": 150, "trace.replays": 2, "hier.filter.misses": 7},
+		Gauges:   map[string]int64{"sweep.workers": 4},
+		Histograms: map[string]obs.HistogramStats{
+			"sweep.queue.wait": {Count: 25, P50: 600, P90: 900, P99: 2000, Max: 2048},
+		},
+	}
+	var b strings.Builder
+	if err := render(&b, base, head); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"## Metrics trend",
+		"| `trace.accesses` | 100 → 150 | +50 |",
+		"| `trace.replays` | 2 | +0 |",
+		"| `hier.filter.misses` | 0 → 7 | +7 |",
+		"| `sweep.workers` | 4 |",
+		"| `sweep.queue.wait` | 10 → 25 | 500 → 600 | 900 | 1000 → 2000 | 1000 → 2048 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: hier.filter.misses before trace.accesses.
+	if strings.Index(out, "hier.filter.misses") > strings.Index(out, "trace.accesses") {
+		t.Error("counters not sorted by name")
+	}
+}
+
+// TestRenderHeadOnly: without a base the report carries head values and
+// says so.
+func TestRenderHeadOnly(t *testing.T) {
+	head := &obs.Snapshot{Counters: map[string]int64{"c": 3}}
+	var b strings.Builder
+	if err := render(&b, nil, head); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "No base snapshot") || !strings.Contains(out, "| `c` | 3 | +3 |") {
+		t.Errorf("head-only report:\n%s", out)
+	}
+}
+
+// TestReadSnapshotRoundTrip writes a snapshot the way obs.Session does
+// and reads it back through the tool's loader.
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(9)
+	reg.Histogram("h").Record(123)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["c"] != 9 || s.Histograms["h"].Count != 1 {
+		t.Errorf("round-trip lost data: %+v", s)
+	}
+	if _, err := readSnapshot(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}

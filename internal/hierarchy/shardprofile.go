@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamsched/internal/cachesim"
+	"streamsched/internal/obs"
 	"streamsched/internal/trace"
 )
 
@@ -101,6 +102,24 @@ func assignHierUnits(nL1, nFams, workers int) (owner [][]int, designated []int) 
 	return owner, designated
 }
 
+// mergeUnitsTimed finalises one L1 point's (point, L2 family) unit
+// profilers into curves, recording each unit's extraction time into h
+// (the hier.shard.unit.merge histogram; nil h skips the clocks).
+// Finalisation is idempotent, so l2MissRow afterwards reads the already
+// extracted curves and the timing wraps exactly the per-unit merge work.
+func mergeUnitsTimed(h *obs.Histogram, groups []*l2Group) {
+	for _, g := range groups {
+		stop := h.Start()
+		if g.assoc != nil && g.assocCurve == nil {
+			g.assocCurve = g.assoc.Curve()
+		}
+		if g.fifo != nil && g.fifoCurve == nil {
+			g.fifoCurve = g.fifo.Curve()
+		}
+		stop()
+	}
+}
+
 // ProfileHierJobs is ProfileHier with the grid's profiling work sharded
 // across a worker pool: jobs <= 0 uses one worker per CPU, 1 is exactly
 // ProfileHier, larger values pin the worker count. One replay feeds every
@@ -163,6 +182,10 @@ func ProfileHierJobs(l *trace.Log, spec HierSpec, jobs int) (*HierCurves, error)
 	for i := range misses {
 		misses[i] = repAt[designated[i]][i].misses
 		totalMisses += misses[i]
+	}
+	mergeH := reg.Histogram("hier.shard.unit.merge")
+	for i := range groups {
+		mergeUnitsTimed(mergeH, groups[i])
 	}
 	out, err := assembleHier(spec, orgCurves, specIdx, misses, groups, slots)
 	if err != nil {
@@ -315,7 +338,9 @@ func ProfileSharedJobs(pl *trace.ProcLog, spec SharedSpec, jobs int) (*SharedCur
 		L2Misses:     make([][]int64, len(spec.L1s)),
 	}
 	var err error
+	mergeH := reg.Histogram("hier.shard.unit.merge")
 	for i := range spec.L1s {
+		mergeUnitsTimed(mergeH, groups[i])
 		out.L1Misses[i] = repAt[designated[i]][i].misses
 		out.L2Misses[i], err = l2MissRow(groups[i], slots)
 		if err != nil {

@@ -1,15 +1,17 @@
 // Package obs is the engine's instrumentation layer: named counters,
-// gauges, and timers collected in a Registry, plus hierarchical Spans for
-// stage timing (record -> profile -> sweep -> report). It is dependency-free
-// (stdlib only) and concurrency-safe.
+// gauges, timers, and histograms collected in a Registry, plus
+// hierarchical Spans for stage timing (record -> profile -> sweep ->
+// report) and an HTTP exposition server (Serve) for watching a run live.
+// It is dependency-free (stdlib only) and concurrency-safe.
 //
 // The package is built around a nil-is-off contract: every method on
-// *Registry, *Counter, *Gauge, *Timer, and *Span is safe to call on a nil
-// receiver and does nothing. Instrumented code therefore never branches on
-// an "enabled" flag — it asks for the registry (its own, or Default()),
-// and when observation is off every call collapses to a nil check. This is
-// what keeps the disabled path within the <2% overhead budget that
-// BenchmarkObsOverhead in internal/trace enforces.
+// *Registry, *Counter, *Gauge, *Timer, *Histogram, *Span, and *Server is
+// safe to call on a nil receiver and does nothing. Instrumented code
+// therefore never branches on an "enabled" flag — it asks for the
+// registry (its own, or Default()), and when observation is off every
+// call collapses to a nil check. This is what keeps the disabled path
+// within the <2% overhead budget that BenchmarkObsOverhead in
+// internal/trace enforces.
 //
 // Metric-name stability contract: names exported by instrumented packages
 // (trace.accesses, trace.profile.accesses, hier.sim.l1.misses, ...) are
@@ -20,10 +22,12 @@
 //
 // Concurrent writers are expected: the sharded profiling engine's workers
 // and the sweep pools update counters and timers from many goroutines.
-// Counter and Gauge are lock-free atomics; Timer takes a mutex per
-// observation, so hot loops should batch (observe once per chunk of work,
-// as the per-worker profile.shard.<w>.busy timers do) rather than once per
-// item.
+// Counter, Gauge, and Histogram are lock-free atomics. A registry Timer
+// records into a same-named Histogram sibling (lock-free, and percentiles
+// come for free in snapshots); only a standalone zero-value Timer falls
+// back to a mutex per observation. Hot loops should still batch (observe
+// once per chunk of work, as the per-worker profile.shard.<w>.busy timers
+// do) rather than once per item.
 package obs
 
 import (
@@ -93,7 +97,14 @@ func (g *Gauge) Value() int64 {
 
 // Timer accumulates duration observations: count, total, min, and max.
 // The nil Timer discards observations.
+//
+// A registry-created Timer records into a Histogram sibling registered
+// under the same name, so every existing timer call site additionally
+// exports a latency distribution (p50/p90/p99) without touching the
+// timer's own stable TimerStats contract. The mutex path remains only as
+// the fallback for standalone zero-value Timers with no sibling.
 type Timer struct {
+	h     *Histogram // sibling; non-nil when created via Registry.Timer
 	mu    sync.Mutex
 	count int64
 	total time.Duration
@@ -104,6 +115,10 @@ type Timer struct {
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
 	if t == nil {
+		return
+	}
+	if t.h != nil {
+		t.h.Observe(d)
 		return
 	}
 	t.mu.Lock()
@@ -138,6 +153,10 @@ func (t *Timer) Stats() TimerStats {
 	if t == nil {
 		return TimerStats{}
 	}
+	if t.h != nil {
+		hs := t.h.Stats()
+		return TimerStats{Count: hs.Count, TotalNS: hs.Sum, MinNS: hs.Min, MaxNS: hs.Max}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TimerStats{
@@ -154,11 +173,12 @@ func (t *Timer) Stats() TimerStats {
 // instrumentation path: it hands out nil metrics and nil spans, and
 // Snapshot returns an empty snapshot.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
-	roots    []*Span
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	roots      []*Span
 }
 
 // NewRegistry returns an empty live registry.
@@ -224,7 +244,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Timer returns the named timer, creating it on first use.
+// Timer returns the named timer, creating it on first use. The timer
+// records into a Histogram sibling under the same name (created
+// alongside), so the snapshot's histograms section carries a latency
+// distribution for every timer name.
 func (r *Registry) Timer(name string) *Timer {
 	if r == nil {
 		return nil
@@ -236,19 +259,47 @@ func (r *Registry) Timer(name string) *Timer {
 		if r.timers == nil {
 			r.timers = make(map[string]*Timer)
 		}
-		t = &Timer{}
+		t = &Timer{h: r.histogramLocked(name)}
 		r.timers[name] = t
 	}
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use. Timer
+// siblings share this namespace: Histogram("x") after Timer("x") returns
+// the timer's distribution.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histogramLocked(name)
+}
+
+// histogramLocked is Histogram with r.mu already held.
+func (r *Registry) histogramLocked(name string) *Histogram {
+	h := r.histograms[name]
+	if h == nil {
+		if r.histograms == nil {
+			r.histograms = make(map[string]*Histogram)
+		}
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // StartSpan opens a new root span. Nest further stages with Span.Start and
-// close each with End; Snapshot exports the tree.
+// close each with End; Snapshot exports the tree. Every span in the tree
+// records its self time (duration minus its children's) into the
+// span.self histogram at End, so stage self-times have a distribution
+// alongside the tree.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	sp := &Span{name: name, start: time.Now()}
+	sp := &Span{name: name, start: time.Now(), selfH: r.Histogram("span.self")}
 	r.mu.Lock()
 	r.roots = append(r.roots, sp)
 	r.mu.Unlock()
@@ -260,9 +311,10 @@ func (r *Registry) StartSpan(name string) *Span {
 // duration so far and Open set. A nil registry snapshots as empty.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]int64{},
-		Timers:   map[string]TimerStats{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
 	}
 	if r == nil {
 		return s
@@ -280,6 +332,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
 	roots := append([]*Span(nil), r.roots...)
 	r.mu.Unlock()
 	for k, v := range counters {
@@ -290,6 +346,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for k, v := range timers {
 		s.Timers[k] = v.Stats()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Stats()
 	}
 	s.Spans = make([]SpanNode, len(roots))
 	for i, sp := range roots {

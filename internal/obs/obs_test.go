@@ -169,6 +169,9 @@ func TestSnapshotGoldenCSV(t *testing.T) {
 		Counters: map[string]int64{"trace.accesses": 42},
 		Gauges:   map[string]int64{"sweep.workers": 4},
 		Timers:   map[string]TimerStats{"trace.decode": {Count: 2, TotalNS: 3000, MinNS: 1000, MaxNS: 2000}},
+		Histograms: map[string]HistogramStats{"sweep.queue.wait": {
+			Count: 2, Sum: 3000, Min: 1000, Max: 2000, P50: 1024, P90: 2000, P99: 2000,
+		}},
 		Spans: []SpanNode{{
 			Name: "sweep", DurNS: 5000,
 			Children: []SpanNode{{Name: "record", DurNS: 2000}},
@@ -178,12 +181,13 @@ func TestSnapshotGoldenCSV(t *testing.T) {
 	if err := snap.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
-	const want = `kind,name,value,count,min_ns,max_ns
-counter,trace.accesses,42,,,
-gauge,sweep.workers,4,,,
-timer,trace.decode,3000,2,1000,2000
-span,sweep,5000,,,
-span,sweep.record,2000,,,
+	const want = `kind,name,value,count,min_ns,max_ns,p50,p90,p99
+counter,trace.accesses,42,,,,,,
+gauge,sweep.workers,4,,,,,,
+timer,trace.decode,3000,2,1000,2000,,,
+histogram,sweep.queue.wait,3000,2,1000,2000,1024,2000,2000
+span,sweep,5000,,,,,,
+span,sweep.record,2000,,,,,,
 `
 	if b.String() != want {
 		t.Errorf("CSV snapshot drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
@@ -239,6 +243,11 @@ func TestNopZeroAlloc(t *testing.T) {
 		r.Timer("t").Observe(time.Second)
 		stop := r.Timer("t").Start()
 		stop()
+		r.Histogram("h").Record(7)
+		r.Histogram("h").Observe(time.Second)
+		_ = r.Histogram("h").Count()
+		hstop := r.Histogram("h").Start()
+		hstop()
 		sp := r.StartSpan("root")
 		sp.Start("child").End()
 		sp.End()

@@ -22,6 +22,11 @@ type SessionConfig struct {
 	MemProfile string
 	// Trace, when non-empty, writes a runtime/trace execution trace.
 	Trace string
+	// Listen, when non-empty, serves live introspection over HTTP on this
+	// address for the session's lifetime: /metrics (Prometheus text),
+	// /metrics.json, /spans, and /debug/pprof. Arms a live registry like
+	// Metrics does.
+	Listen string
 	// Verbose prints the span-tree summary to Log at Close.
 	Verbose bool
 	// Log is the verbose destination; nil means os.Stderr.
@@ -41,6 +46,7 @@ type Session struct {
 	swap   bool
 	cpu    *os.File
 	traceF *os.File
+	srv    *Server
 	closed bool
 }
 
@@ -49,10 +55,22 @@ type Session struct {
 // safe to Close.
 func (s *Session) start() error {
 	c := s.cfg
-	if c.Metrics != "" || c.Verbose {
+	if c.Metrics != "" || c.Verbose || c.Listen != "" {
 		s.reg = NewRegistry()
 		s.prev = SetDefault(s.reg)
 		s.swap = true
+	}
+	if c.Listen != "" {
+		srv, err := Serve(c.Listen, s.reg)
+		if err != nil {
+			return err
+		}
+		s.srv = srv
+		out := c.Log
+		if out == nil {
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "obs: serving introspection on http://%s (/metrics, /metrics.json, /spans, /debug/pprof)\n", srv.Addr())
 	}
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
@@ -93,13 +111,22 @@ func StartSession(cfg SessionConfig) (*Session, error) {
 	return s, nil
 }
 
-// Registry returns the session's live registry, or nil when neither
-// metrics nor verbose output were requested.
+// Registry returns the session's live registry, or nil when no
+// observation (metrics, verbose, listen) was requested.
 func (s *Session) Registry() *Registry {
 	if s == nil {
 		return nil
 	}
 	return s.reg
+}
+
+// ServerAddr returns the introspection server's bound address, or "" when
+// Listen was not requested — useful when Listen was ":0".
+func (s *Session) ServerAddr() string {
+	if s == nil {
+		return ""
+	}
+	return s.srv.Addr()
 }
 
 // Close stops profiling, writes the requested artifacts, and restores the
@@ -112,6 +139,9 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	var errs []error
+	if err := s.srv.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("obs: listen: %w", err))
+	}
 	if s.cpu != nil {
 		pprof.StopCPUProfile()
 		if err := s.cpu.Close(); err != nil {

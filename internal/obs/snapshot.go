@@ -27,21 +27,24 @@ func (t TimerStats) Mean() time.Duration {
 }
 
 // SpanNode is one exported span: a stage name, its wall-clock duration,
-// and its child stages.
+// the self time not covered by its children, and its child stages.
 type SpanNode struct {
 	Name     string     `json:"name"`
 	DurNS    int64      `json:"dur_ns"`
+	SelfNS   int64      `json:"self_ns,omitempty"`
 	Open     bool       `json:"open,omitempty"`
 	Children []SpanNode `json:"children,omitempty"`
 }
 
 // Snapshot is a registry's state at one instant, the serialisable form
-// behind the -metrics flag and the E22 report.
+// behind the -metrics flag, the /metrics.json endpoint, and the E22
+// report.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]int64      `json:"gauges"`
-	Timers   map[string]TimerStats `json:"timers"`
-	Spans    []SpanNode            `json:"spans,omitempty"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Spans      []SpanNode                `json:"spans,omitempty"`
 }
 
 // Counter returns a counter's value, zero when absent.
@@ -58,6 +61,17 @@ func (s *Snapshot) CounterDelta(base *Snapshot, name string) int64 {
 	return v
 }
 
+// HistogramCountDelta returns how many observations a histogram gained
+// since base (which may be nil, meaning zero) — the cross-check E22 runs
+// against the counters.
+func (s *Snapshot) HistogramCountDelta(base *Snapshot, name string) int64 {
+	v := s.Histograms[name].Count
+	if base != nil {
+		v -= base.Histograms[name].Count
+	}
+	return v
+}
+
 // WriteJSON serialises the snapshot as indented JSON. Map keys serialise
 // sorted, so output is deterministic for a given state.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
@@ -67,10 +81,13 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV serialises the snapshot as one flat CSV: kind, name, value,
-// and for timers the count/min/max columns. Spans flatten to dotted paths
-// (parent.child) with their duration in nanoseconds.
+// for timers the count/min/max columns, and for histograms additionally
+// the p50/p90/p99 estimates. Spans flatten to dotted paths
+// (parent.child) with their duration in nanoseconds. Every section is
+// emitted in sorted name order, so output is deterministic for a given
+// state.
 func (s *Snapshot) WriteCSV(w io.Writer) error {
-	t := report.NewTable("", "kind", "name", "value", "count", "min_ns", "max_ns")
+	t := report.NewTable("", "kind", "name", "value", "count", "min_ns", "max_ns", "p50", "p90", "p99")
 	for _, k := range sortedKeys(s.Counters) {
 		t.Add("counter", k, report.I(s.Counters[k]))
 	}
@@ -80,6 +97,11 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 	for _, k := range sortedKeys(s.Timers) {
 		ts := s.Timers[k]
 		t.Add("timer", k, report.I(ts.TotalNS), report.I(ts.Count), report.I(ts.MinNS), report.I(ts.MaxNS))
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[k]
+		t.Add("histogram", k, report.I(hs.Sum), report.I(hs.Count), report.I(hs.Min), report.I(hs.Max),
+			report.I(hs.P50), report.I(hs.P90), report.I(hs.P99))
 	}
 	var walk func(prefix string, n SpanNode)
 	walk = func(prefix string, n SpanNode) {
@@ -110,6 +132,9 @@ func (s *Snapshot) WriteSpanTree(w io.Writer) error {
 	walk = func(indent int, n SpanNode) {
 		fmt.Fprintf(&b, "%s%s  %s", strings.Repeat("  ", indent), n.Name,
 			time.Duration(n.DurNS).Round(time.Microsecond))
+		if len(n.Children) > 0 && n.SelfNS > 0 {
+			fmt.Fprintf(&b, " (self %s)", time.Duration(n.SelfNS).Round(time.Microsecond))
+		}
 		if n.Open {
 			b.WriteString(" (open)")
 		}

@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,13 +13,14 @@ import (
 )
 
 // Parallel replay fan-out: one decode of the log feeds many consumers
-// concurrently. The decoder (the calling goroutine) streams varint chunks
-// through the ordinary ForEach path — so spilled traces are read off disk
-// exactly once and Replays() still counts one — and accumulates the
-// decoded accesses into fixed-size refcounted batches that are broadcast
-// to every consumer over bounded channels. Resident memory is therefore
-// flat regardless of trace length: at most consumers*(fanQueueDepth+1)+1
-// batches are in flight, and drained batches are recycled through a pool.
+// concurrently. The decoder (a dedicated goroutine labelled stage=decode)
+// streams varint chunks through the ordinary ForEach path — so spilled
+// traces are read off disk exactly once and Replays() still counts one —
+// and accumulates the decoded accesses into fixed-size refcounted batches
+// that are broadcast to every consumer over bounded channels. Resident
+// memory is therefore flat regardless of trace length: at most
+// consumers*(fanQueueDepth+1)+1 batches are in flight, and drained
+// batches are recycled through a pool.
 //
 // Each consumer runs on its own goroutine and receives the complete
 // stream in recorded order; parallelism comes from consumers that ignore
@@ -128,10 +132,19 @@ func (pl *ProcLog) FanOut(consumers []ProcWindowedConsumer) error {
 }
 
 // fanOut is the shared decode→broadcast engine behind Log.FanOut and
-// ProcLog.FanOut. The calling goroutine decodes (one ForEach — one
-// replay), batches, and broadcasts; n worker goroutines drain their
+// ProcLog.FanOut. A dedicated decoder goroutine decodes (one ForEach —
+// one replay), batches, and broadcasts; n worker goroutines drain their
 // channels through consume, then finalReset handles the empty-window
 // case. pl non-nil layers the run-length processor tags into the batches.
+//
+// Every pipeline goroutine carries pprof labels so -cpuprofile output
+// attributes samples to stages: the decoder runs as stage=decode and
+// flips itself to stage=route for the broadcast of each batch (label
+// contexts are precomputed, so the flip is one pointer swap per batch,
+// not an allocation), and each worker runs as stage=profile with its
+// worker index. When the log's registry is live, the decoder also
+// publishes per-batch fill latency (profile.pipeline.batch.decode) and
+// broadcast latency (profile.pipeline.batch.route) histograms.
 func (l *Log) fanOut(pl *ProcLog, n int,
 	consume func(w int, b *fanBatch, window int64, resetDone *bool),
 	finalReset func(w int)) error {
@@ -140,10 +153,13 @@ func (l *Log) fanOut(pl *ProcLog, n int,
 	met := l.metrics()
 	var batchesC *obs.Counter
 	var depthG *obs.Gauge
+	var decodeH, routeH *obs.Histogram
 	busy := make([]*obs.Timer, n)
 	if met.reg != nil {
 		batchesC = met.reg.Counter("profile.pipeline.batches")
 		depthG = met.reg.Gauge("profile.pipeline.queue.depth")
+		decodeH = met.reg.Histogram("profile.pipeline.batch.decode")
+		routeH = met.reg.Histogram("profile.pipeline.batch.route")
 		met.reg.Gauge("profile.shard.workers").Max(int64(n))
 		for w := range busy {
 			busy[w] = met.reg.Timer(fmt.Sprintf("profile.shard.%d.busy", w))
@@ -159,83 +175,111 @@ func (l *Log) fanOut(pl *ProcLog, n int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			resetDone := false
-			for b := range chans[w] {
-				var t0 time.Time
-				if busy[w] != nil {
-					t0 = time.Now()
+			labels := pprof.Labels("stage", "profile", "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				resetDone := false
+				for b := range chans[w] {
+					var t0 time.Time
+					if busy[w] != nil {
+						t0 = time.Now()
+					}
+					consume(w, b, window, &resetDone)
+					if busy[w] != nil {
+						busy[w].Observe(time.Since(t0))
+					}
+					if b.refs.Add(-1) == 0 {
+						fanBatchPool.Put(b)
+					}
 				}
-				consume(w, b, window, &resetDone)
-				if busy[w] != nil {
-					busy[w].Observe(time.Since(t0))
+				if !resetDone {
+					finalReset(w)
 				}
-				if b.refs.Add(-1) == 0 {
-					fanBatchPool.Put(b)
-				}
-			}
-			if !resetDone {
-				finalReset(w)
-			}
+			})
 		}(w)
 	}
 
-	var cur *fanBatch
-	next := int64(0)
-	flush := func() {
-		if cur == nil {
-			return
+	decodeCtx := pprof.WithLabels(context.Background(), pprof.Labels("stage", "decode"))
+	routeCtx := pprof.WithLabels(context.Background(), pprof.Labels("stage", "route"))
+	errC := make(chan error, 1)
+	go func() {
+		pprof.SetGoroutineLabels(decodeCtx)
+		var cur *fanBatch
+		var batchStart time.Time
+		next := int64(0)
+		flush := func() {
+			if cur == nil {
+				return
+			}
+			if len(cur.blks) == 0 {
+				fanBatchPool.Put(cur)
+				cur = nil
+				return
+			}
+			if decodeH != nil {
+				decodeH.Observe(time.Since(batchStart))
+			}
+			cur.refs.Store(int32(n))
+			batchesC.Add(1)
+			pprof.SetGoroutineLabels(routeCtx)
+			var t0 time.Time
+			if routeH != nil {
+				t0 = time.Now()
+			}
+			for _, ch := range chans {
+				depthG.Max(int64(len(ch)) + 1)
+				ch <- cur
+			}
+			if routeH != nil {
+				routeH.Observe(time.Since(t0))
+			}
+			pprof.SetGoroutineLabels(decodeCtx)
+			cur = nil
 		}
-		if len(cur.blks) == 0 {
+		emit := func(proc int32, blk int64) {
+			if cur == nil {
+				cur = getFanBatch()
+				cur.start = next
+				if decodeH != nil {
+					batchStart = time.Now()
+				}
+			}
+			cur.blks = append(cur.blks, blk)
+			if pl != nil {
+				cur.procs = append(cur.procs, proc)
+			}
+			next++
+			if len(cur.blks) >= fanBatchSize {
+				flush()
+			}
+		}
+
+		var err error
+		if pl != nil {
+			run, left := 0, int64(0)
+			err = l.ForEach(func(blk int64) {
+				for left == 0 {
+					left = pl.runs[run].n
+					run++
+				}
+				left--
+				emit(int32(pl.runs[run-1].proc), blk)
+			})
+		} else {
+			err = l.ForEach(func(blk int64) { emit(0, blk) })
+		}
+		if err == nil {
+			flush()
+		} else if cur != nil {
 			fanBatchPool.Put(cur)
 			cur = nil
-			return
 		}
-		cur.refs.Store(int32(n))
-		batchesC.Add(1)
 		for _, ch := range chans {
-			depthG.Max(int64(len(ch)) + 1)
-			ch <- cur
+			close(ch)
 		}
-		cur = nil
-	}
-	emit := func(proc int32, blk int64) {
-		if cur == nil {
-			cur = getFanBatch()
-			cur.start = next
-		}
-		cur.blks = append(cur.blks, blk)
-		if pl != nil {
-			cur.procs = append(cur.procs, proc)
-		}
-		next++
-		if len(cur.blks) >= fanBatchSize {
-			flush()
-		}
-	}
+		errC <- err
+	}()
 
-	var err error
-	if pl != nil {
-		run, left := 0, int64(0)
-		err = l.ForEach(func(blk int64) {
-			for left == 0 {
-				left = pl.runs[run].n
-				run++
-			}
-			left--
-			emit(int32(pl.runs[run-1].proc), blk)
-		})
-	} else {
-		err = l.ForEach(func(blk int64) { emit(0, blk) })
-	}
-	if err == nil {
-		flush()
-	} else if cur != nil {
-		fanBatchPool.Put(cur)
-		cur = nil
-	}
-	for _, ch := range chans {
-		close(ch)
-	}
+	err := <-errC
 	wg.Wait()
 	return err
 }

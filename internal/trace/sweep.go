@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,7 +33,13 @@ type Outcome[T any] struct {
 // When the process-wide obs registry is live, each pool drain publishes
 // sweep.jobs and per-worker sweep.worker.<i>.jobs counters, the
 // sweep.queue.wait timer (time from submission to a worker picking the
-// job up), and a per-variant sweep.job[<name>] timer.
+// job up), a per-variant sweep.job[<name>] timer, and the aggregate
+// sweep.job.duration histogram (per-job wall time across all variants,
+// with percentiles).
+//
+// Pool goroutines run under pprof labels (stage=sweep, worker=<i>, and
+// job=<name> around each job), so a -cpuprofile taken during a sweep
+// attributes samples to workers and job variants.
 func Sweep[T any](jobs []Job[T], workers int) []Outcome[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -54,21 +63,31 @@ func Sweep[T any](jobs []Job[T], workers int) []Outcome[T] {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerJobs := reg.Counter(fmt.Sprintf("sweep.worker.%d.jobs", w))
-			totalJobs := reg.Counter("sweep.jobs")
-			queueWait := reg.Timer("sweep.queue.wait")
-			for it := range next {
-				i := it.idx
-				if reg != nil {
-					queueWait.Observe(time.Since(it.enqueued))
+			labels := pprof.Labels("stage", "sweep", "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(ctx context.Context) {
+				workerJobs := reg.Counter(fmt.Sprintf("sweep.worker.%d.jobs", w))
+				totalJobs := reg.Counter("sweep.jobs")
+				queueWait := reg.Timer("sweep.queue.wait")
+				jobDur := reg.Histogram("sweep.job.duration")
+				for it := range next {
+					i := it.idx
+					if reg != nil {
+						queueWait.Observe(time.Since(it.enqueued))
+					}
+					stop := reg.Timer("sweep.job[" + jobs[i].Name + "]").Start()
+					stopDur := jobDur.Start()
+					var v T
+					var err error
+					pprof.Do(ctx, pprof.Labels("job", jobs[i].Name), func(context.Context) {
+						v, err = jobs[i].Run()
+					})
+					stopDur()
+					stop()
+					workerJobs.Add(1)
+					totalJobs.Add(1)
+					out[i] = Outcome[T]{Name: jobs[i].Name, Value: v, Err: err}
 				}
-				stop := reg.Timer("sweep.job[" + jobs[i].Name + "]").Start()
-				v, err := jobs[i].Run()
-				stop()
-				workerJobs.Add(1)
-				totalJobs.Add(1)
-				out[i] = Outcome[T]{Name: jobs[i].Name, Value: v, Err: err}
-			}
+			})
 		}(w)
 	}
 	for i := range jobs {
