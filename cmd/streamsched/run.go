@@ -30,6 +30,7 @@ var errUsage = errors.New(`usage:
   streamsched buffers -M <words> [-sched <name>] [-probe N] <graph.json>
   streamsched compile -M <words> [-sched <name>] [-o <file>] <graph.json>
   streamsched export -workload <name> [-o <file>]
+  streamsched loadtest -addr <url> [-kind plan|profile] [-c N] [-n N] [-distinct N] [-workload <name>] [-M <words>] [-B <words>]
 workloads: fmradio filterbank beamformer fft bitonic des mp3
 schedulers: flat scaled demand kohli partitioned
 profiling (misscurve, hier, shared): [-profilejobs N] shards each profiling pass across N workers (0 = GOMAXPROCS, 1 = sequential; curves are identical either way)
@@ -61,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		return cmdCompile(args[1:], out)
 	case "export":
 		return cmdExport(args[1:], out)
+	case "loadtest":
+		return cmdLoadtest(args[1:], out)
 	case "help", "-h", "--help":
 		fmt.Fprintln(out, errUsage.Error())
 		return nil

@@ -15,10 +15,14 @@
 //
 // Metric-name stability contract: names exported by instrumented packages
 // (trace.accesses, trace.profile.accesses, hier.sim.l1.misses, ...) are
-// part of the observable interface. Renaming or repurposing one is a
-// breaking change for downstream dashboards and the E22 cross-checks, and
-// must be called out in CHANGES.md like any API change. New names may be
-// added freely. The full list lives in README.md's Observability section.
+// part of the observable interface, as are the daemon families the
+// scheduling service publishes (internal/plancache's cache.* counters
+// and gauges, internal/server's server.* counters, the server.inflight
+// gauge, and the server.request.duration / server.compute.duration
+// timers). Renaming or repurposing one is a breaking change for
+// downstream dashboards and the E22 cross-checks, and must be called out
+// in CHANGES.md like any API change. New names may be added freely. The
+// full list lives in README.md's Observability section.
 //
 // Concurrent writers are expected: the sharded profiling engine's workers
 // and the sweep pools update counters and timers from many goroutines.

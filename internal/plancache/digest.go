@@ -1,0 +1,79 @@
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// Digest builds a Key from a canonical serialisation of tagged fields.
+// Every field is framed unambiguously — uvarint(len(tag)) ‖ tag ‖ a kind
+// byte ‖ the value's own framing — so no concatenation of fields can
+// collide with a different field sequence, and the same logical content
+// always produces the same bytes regardless of how the caller's wire
+// format ordered it. Callers are expected to write fields in a fixed
+// code-determined order after normalising their input (defaults applied,
+// lists canonicalised); the JSON layer's field order therefore never
+// reaches the hash.
+type Digest struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+// Field kind bytes, one per Digest method, so a string value can never
+// alias an int or list framing.
+const (
+	kindStr  = 0x01
+	kindInt  = 0x02
+	kindInts = 0x03
+)
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: sha256.New()} }
+
+func (d *Digest) uvarint(v uint64) {
+	n := binary.PutUvarint(d.buf[:], v)
+	d.h.Write(d.buf[:n])
+}
+
+func (d *Digest) varint(v int64) {
+	n := binary.PutVarint(d.buf[:], v)
+	d.h.Write(d.buf[:n])
+}
+
+func (d *Digest) tag(tag string, kind byte) {
+	d.uvarint(uint64(len(tag)))
+	d.h.Write([]byte(tag))
+	d.h.Write([]byte{kind})
+}
+
+// Str writes a tagged string field.
+func (d *Digest) Str(tag, v string) {
+	d.tag(tag, kindStr)
+	d.uvarint(uint64(len(v)))
+	d.h.Write([]byte(v))
+}
+
+// Int writes a tagged integer field.
+func (d *Digest) Int(tag string, v int64) {
+	d.tag(tag, kindInt)
+	d.varint(v)
+}
+
+// Ints writes a tagged integer-list field (length-prefixed, so an empty
+// list is distinct from an absent field).
+func (d *Digest) Ints(tag string, vs []int64) {
+	d.tag(tag, kindInts)
+	d.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		d.varint(v)
+	}
+}
+
+// Sum finalises the digest into a Key. The digest remains usable —
+// further writes extend the original field sequence.
+func (d *Digest) Sum() Key {
+	var k Key
+	d.h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamsched/internal/obs"
+	"streamsched/workloads"
+)
+
+// testGraphJSON returns an interchange-format graph payload.
+func testGraphJSON(t *testing.T, scale int64) []byte {
+	t.Helper()
+	g, err := workloads.FMRadio(4, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if cfg.Metrics == nil {
+		cfg.Metrics = reg
+	} else {
+		reg = cfg.Metrics
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func planBody(t *testing.T, graph []byte, extra string) []byte {
+	t.Helper()
+	return []byte(fmt.Sprintf(`{"graph": %s, "m": 512%s}`, graph, extra))
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/plan", planBody(t, testGraphJSON(t, 64), ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Streamsched-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", got)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("bad response json: %v\n%s", err, body)
+	}
+	if pr.Engine != EngineVersion || pr.Graph == "" || len(pr.Caps) == 0 || pr.BufferWords <= 0 {
+		t.Fatalf("implausible plan response: %+v", pr)
+	}
+	if pr.Key != resp.Header.Get("X-Streamsched-Key") {
+		t.Fatal("body key and header key disagree")
+	}
+	// Second identical request: a hit, byte-identical.
+	resp2, body2 := post(t, ts.URL+"/v1/plan", planBody(t, testGraphJSON(t, 64), ""))
+	if got := resp2.Header.Get("X-Streamsched-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cached body differs from computed body")
+	}
+}
+
+// TestCachedEqualsFresh pins the acceptance criterion: a cached result is
+// byte-identical to a fresh computation on a brand-new server (fresh
+// schedule.Env machinery, empty cache).
+func TestCachedEqualsFresh(t *testing.T) {
+	for _, ep := range []string{"/v1/plan", "/v1/profile"} {
+		_, tsA, _ := newTestServer(t, Config{})
+		_, tsB, _ := newTestServer(t, Config{})
+		req := planBody(t, testGraphJSON(t, 32), `, "measure": 256, "warm": 64, "caps": [256, 1024, 4096]`)
+		if ep == "/v1/plan" {
+			req = planBody(t, testGraphJSON(t, 32), "")
+		}
+		respA1, bodyA1 := post(t, tsA.URL+ep, req)
+		if respA1.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", ep, respA1.StatusCode, bodyA1)
+		}
+		_, bodyA2 := post(t, tsA.URL+ep, req) // cached
+		respB, bodyB := post(t, tsB.URL+ep, req)
+		if respB.Header.Get("X-Streamsched-Cache") != "miss" {
+			t.Fatalf("%s: fresh server reported a hit", ep)
+		}
+		if !bytes.Equal(bodyA1, bodyA2) {
+			t.Fatalf("%s: cached body differs from its own computation", ep)
+		}
+		if !bytes.Equal(bodyA2, bodyB) {
+			t.Fatalf("%s: cached body differs from a fresh server's computation:\n%s\nvs\n%s", ep, bodyA2, bodyB)
+		}
+	}
+}
+
+// TestKeyStableAcrossFieldOrder: reordering JSON fields (of both the
+// request envelope and the graph object) and writing defaults explicitly
+// must address the same cache entry.
+func TestKeyStableAcrossFieldOrder(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	a := []byte(`{"graph": {"name": "g", "nodes": [{"name": "s", "state": 8}, {"name": "t", "state": 4}], "edges": [{"from": 0, "to": 1, "out": 1, "in": 1}]}, "m": 256}`)
+	b := []byte(`{"m": 256, "scale": 4, "scheduler": "partitioned", "b": 16, "graph": {"edges": [{"in": 1, "out": 1, "to": 1, "from": 0}], "nodes": [{"state": 8, "name": "s"}, {"state": 4, "name": "t"}], "name": "g"}}`)
+	respA, bodyA := post(t, ts.URL+"/v1/plan", a)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", respA.StatusCode, bodyA)
+	}
+	respB, bodyB := post(t, ts.URL+"/v1/plan", b)
+	if got := respB.Header.Get("X-Streamsched-Cache"); got != "hit" {
+		t.Fatalf("reordered request missed the cache (header %q)", got)
+	}
+	if respA.Header.Get("X-Streamsched-Key") != respB.Header.Get("X-Streamsched-Key") {
+		t.Fatal("reordered request hashed to a different key")
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("reordered request served different bytes")
+	}
+	// A semantic change (node state) must change the key.
+	c := []byte(`{"graph": {"name": "g", "nodes": [{"name": "s", "state": 9}, {"name": "t", "state": 4}], "edges": [{"from": 0, "to": 1, "out": 1, "in": 1}]}, "m": 256}`)
+	respC, _ := post(t, ts.URL+"/v1/plan", c)
+	if respC.Header.Get("X-Streamsched-Key") == respA.Header.Get("X-Streamsched-Key") {
+		t.Fatal("semantically different graphs share a key")
+	}
+}
+
+// TestFastPathMemo: a byte-identical repeat is served through the
+// raw-body memo; an equivalent-but-reordered body takes the slow path to
+// the same cache entry.
+func TestFastPathMemo(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	a := []byte(`{"graph": {"name": "g", "nodes": [{"name": "s", "state": 8}], "edges": []}, "m": 256}`)
+	b := []byte(`{"m": 256, "graph": {"name": "g", "nodes": [{"name": "s", "state": 8}], "edges": []}}`)
+	post(t, ts.URL+"/v1/plan", a)
+	if got := reg.Counter("server.fastpath.hits").Value(); got != 0 {
+		t.Fatalf("fastpath.hits after first request = %d, want 0", got)
+	}
+	resp2, _ := post(t, ts.URL+"/v1/plan", a)
+	if resp2.Header.Get("X-Streamsched-Cache") != "hit" {
+		t.Fatal("identical repeat missed")
+	}
+	if got := reg.Counter("server.fastpath.hits").Value(); got != 1 {
+		t.Fatalf("fastpath.hits after identical repeat = %d, want 1", got)
+	}
+	resp3, _ := post(t, ts.URL+"/v1/plan", b)
+	if resp3.Header.Get("X-Streamsched-Cache") != "hit" {
+		t.Fatal("reordered equivalent missed")
+	}
+	if got := reg.Counter("server.fastpath.hits").Value(); got != 1 {
+		t.Fatalf("fastpath.hits after reordered body = %d, want 1 (slow path expected)", got)
+	}
+	// The reordered body is memoised too: its repeat is a fastpath hit.
+	post(t, ts.URL+"/v1/plan", b)
+	if got := reg.Counter("server.fastpath.hits").Value(); got != 2 {
+		t.Fatalf("fastpath.hits after reordered repeat = %d, want 2", got)
+	}
+}
+
+// TestSingleFlight is the exact coalescing check: N identical concurrent
+// profile requests cause exactly one computation.
+func TestSingleFlight(t *testing.T) {
+	const clients = 24
+	_, ts, reg := newTestServer(t, Config{Jobs: 4})
+	// A moderately expensive profile so followers genuinely overlap the
+	// leader's computation.
+	req := planBody(t, testGraphJSON(t, 64), `, "measure": 2048, "warm": 512`)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, clients)
+	bodies := make([][]byte, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/profile", "application/json", bytes.NewReader(req))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("server.computations").Value(); got != 1 {
+		t.Fatalf("server.computations = %d, want exactly 1", got)
+	}
+	snap := reg.Snapshot()
+	hits := snap.Counters["cache.hits"]
+	sharedN := snap.Counters["server.singleflight.shared"]
+	if hits+sharedN != clients-1 {
+		t.Fatalf("hits (%d) + shared (%d) = %d, want %d", hits, sharedN, hits+sharedN, clients-1)
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+}
+
+// TestDistinctRequestsDoNotCoalesce: different graphs compute separately.
+func TestDistinctRequestsDoNotCoalesce(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	for _, scale := range []int64{16, 32} {
+		resp, body := post(t, ts.URL+"/v1/plan", planBody(t, testGraphJSON(t, scale), ""))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if got := reg.Counter("server.computations").Value(); got != 2 {
+		t.Fatalf("server.computations = %d, want 2", got)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxBodyBytes: 4096})
+	graph := testGraphJSON(t, 16)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"bad json", "POST", "/v1/plan", "{", http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", "POST", "/v1/plan", `{"graph": {}, "m": 1, "blocksize": 2}`, http.StatusBadRequest, CodeBadRequest},
+		{"missing graph", "POST", "/v1/plan", `{"m": 512}`, http.StatusBadRequest, CodeBadRequest},
+		{"bad m", "POST", "/v1/plan", string(planBody(t, graph, `, "m": -1`)), http.StatusBadRequest, CodeBadRequest},
+		{"unknown scheduler", "POST", "/v1/plan", string(planBody(t, graph, `, "scheduler": "nope"`)), http.StatusBadRequest, CodeBadRequest},
+		{"bad measure", "POST", "/v1/profile", string(planBody(t, graph, `, "measure": -5`)), http.StatusBadRequest, CodeBadRequest},
+		{"tiny cap", "POST", "/v1/profile", string(planBody(t, graph, `, "caps": [1]`)), http.StatusBadRequest, CodeBadRequest},
+		{"get on plan", "GET", "/v1/plan", "", http.StatusMethodNotAllowed, CodeMethod},
+		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound, CodeNotFound},
+		{"oversized", "POST", "/v1/plan", `{"graph": {"name": "` + strings.Repeat("x", 5000) + `"}}`, http.StatusRequestEntityTooLarge, CodeTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not ErrorResponse json: %s", body)
+			}
+			if er.Code != tc.code {
+				t.Fatalf("code %q, want %q (%s)", er.Code, tc.code, er.Error)
+			}
+		})
+	}
+}
+
+// TestTimeout: a deadline shorter than the computation returns 504, and
+// the detached computation still lands in the cache for the retry.
+func TestTimeout(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{Timeout: 1 * time.Nanosecond})
+	req := planBody(t, testGraphJSON(t, 32), `, "measure": 512`)
+	resp, body := post(t, ts.URL+"/v1/profile", req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != CodeTimeout {
+		t.Fatalf("timeout error body: %s", body)
+	}
+	// The leader finishes in the background; the retry eventually hits.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if v, ok := func() ([]byte, bool) {
+			resp, body := post(t, ts.URL+"/v1/profile", req)
+			if resp.StatusCode == http.StatusOK && resp.Header.Get("X-Streamsched-Cache") == "hit" {
+				return body, true
+			}
+			return nil, false
+		}(); ok {
+			_ = v
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cached result never appeared after timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := reg.Counter("server.timeouts").Value(); got < 1 {
+		t.Fatalf("server.timeouts = %d, want >= 1", got)
+	}
+}
+
+// TestEngineVersionChangesKey: the same request under a different engine
+// version must address a different entry.
+func TestEngineVersionChangesKey(t *testing.T) {
+	_, tsA, _ := newTestServer(t, Config{})
+	_, tsB, _ := newTestServer(t, Config{Engine: "streamsched-engine/test-next"})
+	req := planBody(t, testGraphJSON(t, 16), "")
+	respA, _ := post(t, tsA.URL+"/v1/plan", req)
+	respB, bodyB := post(t, tsB.URL+"/v1/plan", req)
+	if respA.Header.Get("X-Streamsched-Key") == respB.Header.Get("X-Streamsched-Key") {
+		t.Fatal("engine version does not participate in the key")
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(bodyB, &pr); err != nil || pr.Engine != "streamsched-engine/test-next" {
+		t.Fatalf("engine not reported: %s", bodyB)
+	}
+}
+
+func TestAuxEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/plan", planBody(t, testGraphJSON(t, 16), ""))
+	post(t, ts.URL+"/v1/plan", planBody(t, testGraphJSON(t, 16), ""))
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	if code, body := get("/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get("/version"); code != 200 || !strings.Contains(string(body), EngineVersion) {
+		t.Fatalf("version: %d %s", code, body)
+	}
+	code, body := get("/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats json: %v", err)
+	}
+	if stats["cache_entries"].(float64) != 1 || stats["cache_hits"].(float64) != 1 {
+		t.Fatalf("stats counters off: %s", body)
+	}
+	// The obs exposition is mounted on the same mux.
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(string(body), "streamsched_server_requests_total") {
+		t.Fatalf("/metrics missing server counters: %d\n%s", code, body)
+	}
+	if code, _ := get("/metrics.json"); code != 200 {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(string(body), "/v1/plan") {
+		t.Fatalf("index: %d %s", code, body)
+	}
+}
+
+// TestProfileDefaultGrid: an empty caps list evaluates the default
+// power-of-two grid and reports a monotone non-increasing curve.
+func TestProfileDefaultGrid(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/profile", planBody(t, testGraphJSON(t, 16), `, "measure": 256, "warm": 64`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr ProfileResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Points) == 0 || pr.InputItems <= 0 || pr.Accesses <= 0 {
+		t.Fatalf("implausible profile: %+v", pr)
+	}
+	for i := 1; i < len(pr.Points); i++ {
+		if pr.Points[i].Capacity <= pr.Points[i-1].Capacity {
+			t.Fatal("default grid not ascending")
+		}
+		if pr.Points[i].Misses > pr.Points[i-1].Misses {
+			t.Fatal("LRU miss curve not monotone")
+		}
+	}
+}
+
+// TestCapsCanonicalisation: unsorted, duplicated, unaligned caps address
+// the same entry as their canonical form.
+func TestCapsCanonicalisation(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	a := planBody(t, testGraphJSON(t, 16), `, "measure": 128, "caps": [4096, 256, 256, 4100]`)
+	b := planBody(t, testGraphJSON(t, 16), `, "measure": 128, "caps": [256, 4096]`)
+	respA, bodyA := post(t, ts.URL+"/v1/profile", a)
+	if respA.StatusCode != 200 {
+		t.Fatalf("status %d: %s", respA.StatusCode, bodyA)
+	}
+	respB, bodyB := post(t, ts.URL+"/v1/profile", b)
+	if respB.Header.Get("X-Streamsched-Cache") != "hit" {
+		t.Fatal("canonical caps form missed the cache")
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("canonicalised caps served different bytes")
+	}
+	if got := reg.Counter("server.computations").Value(); got != 1 {
+		t.Fatalf("computations = %d, want 1", got)
+	}
+}
