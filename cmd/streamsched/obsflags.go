@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"io"
 
 	"streamsched/internal/obs"
@@ -31,6 +32,23 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	fs.StringVar(&o.listen, "listen", "", "serve live introspection on this address while the run lasts (/metrics, /metrics.json, /spans, /debug/pprof)")
 	fs.BoolVar(&o.verbose, "v", false, "print the span-tree timing summary on exit")
 	return o
+}
+
+// logWorkerChoice reports, under -v, the worker counts the profiling
+// engine actually chose — the adaptive heuristic may cap -profilejobs at
+// the grid's independent unit count, and -decodejobs is capped at the
+// trace's chunk count. Reads the profile.shard.workers and
+// profile.pipeline.decode.workers gauges the pipeline publishes, so it
+// must run after the sweep.
+func (o *obsFlags) logWorkerChoice(out io.Writer) {
+	if !o.verbose {
+		return
+	}
+	snap := obs.Default().Snapshot()
+	if w, ok := snap.Gauges["profile.shard.workers"]; ok {
+		fmt.Fprintf(out, "profile: %d shard worker(s), %d decode worker(s)\n",
+			w, snap.Gauges["profile.pipeline.decode.workers"])
+	}
 }
 
 // start opens the session; the caller must defer Close (joined into the

@@ -33,7 +33,7 @@ var errUsage = errors.New(`usage:
   streamsched loadtest -addr <url> [-kind plan|profile] [-c N] [-n N] [-distinct N] [-workload <name>] [-M <words>] [-B <words>]
 workloads: fmradio filterbank beamformer fft bitonic des mp3
 schedulers: flat scaled demand kohli partitioned
-profiling (misscurve, hier, shared): [-profilejobs N] shards each profiling pass across N workers (0 = GOMAXPROCS, 1 = sequential; curves are identical either way)
+profiling (misscurve, hier, shared): [-profilejobs N] shards each profiling pass across N workers; [-decodejobs N] decodes each pass's trace chunks on N parallel workers (both: 0 = GOMAXPROCS, 1 = sequential; curves are identical either way)
 observability (simulate, misscurve, hier, shared): [-metrics <file[.csv]>] [-cpuprofile <file>] [-memprofile <file>] [-trace <file>] [-listen <addr>] [-v]`)
 
 // run dispatches a CLI invocation; out receives normal output.

@@ -57,18 +57,18 @@ func BenchmarkProfileHier(b *testing.B) {
 }
 
 // BenchmarkProfileHierSharded is BenchmarkProfileHier through the sharded
-// engine at one worker per CPU: (L1 point, L2 family) units round-robined
-// across workers, each owning a deterministic L1 filter replica. At
-// GOMAXPROCS=1 this delegates to the sequential path; on the multi-core CI
-// bench runner the paired diff against BenchmarkProfileHier shows the
-// speedup.
+// engine at one worker per CPU, decode stage included: (L1 point, L2
+// family) units round-robined across workers, each owning a deterministic
+// L1 filter replica. At GOMAXPROCS=1 this delegates to the sequential
+// path; on the multi-core CI bench runner the paired diff against
+// BenchmarkProfileHier shows the speedup.
 func BenchmarkProfileHierSharded(b *testing.B) {
 	l := benchLog()
 	spec := benchSpec()
 	jobs := trace.ProfileWorkers(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ProfileHierJobs(l, spec, jobs); err != nil {
+		if _, err := ProfileHierJobs(l, spec, jobs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,7 +160,7 @@ func BenchmarkProfileSharedSharded(b *testing.B) {
 	jobs := trace.ProfileWorkers(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ProfileSharedJobs(pl, spec, jobs); err != nil {
+		if _, err := ProfileSharedJobs(pl, spec, jobs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

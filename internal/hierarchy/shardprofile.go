@@ -120,21 +120,40 @@ func mergeUnitsTimed(h *obs.Histogram, groups []*l2Group) {
 	}
 }
 
+// hierShardUnits counts the independently-assignable work units of a
+// hierarchy grid: the (L1 point, L2 family) pairs distributed round-robin
+// plus the organisation-curve structures riding the same pool. Workers
+// beyond the larger of the two own nothing, so the jobs knob is capped at
+// it (the adaptive heuristic; the chosen count lands in
+// profile.shard.workers).
+func hierShardUnits(orgSpecs []trace.OrgSpec, nL1, nFams int) int64 {
+	units := int64(nL1) * int64(nFams)
+	if ou := trace.OrgShardUnits(orgSpecs); ou > units {
+		units = ou
+	}
+	return units
+}
+
 // ProfileHierJobs is ProfileHier with the grid's profiling work sharded
 // across a worker pool: jobs <= 0 uses one worker per CPU, 1 is exactly
-// ProfileHier, larger values pin the worker count. One replay feeds every
-// worker through the FanOut pipeline; the returned curves are
-// byte-identical to the sequential path's.
-func ProfileHierJobs(l *trace.Log, spec HierSpec, jobs int) (*HierCurves, error) {
-	workers := trace.ProfileWorkers(jobs)
-	if workers <= 1 {
-		return ProfileHier(l, spec)
-	}
+// ProfileHier, larger values pin the worker count — capped at the grid's
+// independent unit count. One replay feeds every worker through the
+// FanOut pipeline, decoded by decodeJobs parallel chunk decoders (same
+// knob convention); the returned curves are byte-identical to the
+// sequential path's.
+func ProfileHierJobs(l *trace.Log, spec HierSpec, jobs, decodeJobs int) (*HierCurves, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-
 	orgSpecs, specIdx := hierOrgSpecs(spec.L1s)
+	fams0, _ := l2Families(spec.Block, spec.L2s)
+	workers := trace.ProfileWorkers(jobs)
+	if u := hierShardUnits(orgSpecs, len(spec.L1s), len(fams0)); int64(workers) > u {
+		workers = int(u)
+	}
+	if workers <= 1 && trace.ProfileWorkers(decodeJobs) <= 1 {
+		return ProfileHier(l, spec)
+	}
 	shards, err := trace.NewOrgShards(orgSpecs, workers)
 	if err != nil {
 		return nil, err
@@ -172,7 +191,7 @@ func ProfileHierJobs(l *trace.Log, spec HierSpec, jobs int) (*HierCurves, error)
 	for w := range consumers {
 		consumers[w] = pool[w]
 	}
-	if err := l.FanOut(consumers); err != nil {
+	if err := l.FanOut(consumers, decodeJobs); err != nil {
 		return nil, err
 	}
 	orgCurves := shards.Curves()
@@ -271,13 +290,10 @@ func (w *sharedShardWorker) TouchProc(proc int, blk int64) {
 }
 
 // ProfileSharedJobs is ProfileShared with the grid's profiling work
-// sharded across a worker pool, with the same jobs convention and
-// byte-identical results as ProfileHierJobs.
-func ProfileSharedJobs(pl *trace.ProcLog, spec SharedSpec, jobs int) (*SharedCurves, error) {
-	workers := trace.ProfileWorkers(jobs)
-	if workers <= 1 {
-		return ProfileShared(pl, spec)
-	}
+// sharded across a worker pool, with the same jobs and decodeJobs
+// conventions and byte-identical results as ProfileHierJobs. The worker
+// cap is the shared grid's unit count, (L1 points) × (L2 families).
+func ProfileSharedJobs(pl *trace.ProcLog, spec SharedSpec, jobs, decodeJobs int) (*SharedCurves, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -286,6 +302,13 @@ func ProfileSharedJobs(pl *trace.ProcLog, spec SharedSpec, jobs int) (*SharedCur
 	}
 
 	fams, slots := l2Families(spec.Block, spec.L2s)
+	workers := trace.ProfileWorkers(jobs)
+	if u := int64(len(spec.L1s)) * int64(len(fams)); int64(workers) > u {
+		workers = int(u)
+	}
+	if workers <= 1 && trace.ProfileWorkers(decodeJobs) <= 1 {
+		return ProfileShared(pl, spec)
+	}
 	pool := make([]*sharedShardWorker, workers)
 	for w := range pool {
 		pool[w] = &sharedShardWorker{}
@@ -326,7 +349,7 @@ func ProfileSharedJobs(pl *trace.ProcLog, spec SharedSpec, jobs int) (*SharedCur
 	for w := range consumers {
 		consumers[w] = pool[w]
 	}
-	if err := pl.FanOut(consumers); err != nil {
+	if err := pl.FanOut(consumers, decodeJobs); err != nil {
 		return nil, err
 	}
 

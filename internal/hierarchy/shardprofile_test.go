@@ -10,15 +10,26 @@ import (
 	"streamsched/internal/trace"
 )
 
+// profileJobsCombos is the (jobs, decodejobs) grid the hierarchy
+// equivalence suites sweep: both knobs at 1 (pure sequential), each knob
+// parallel with the other sequential, and both parallel including
+// worker counts past NumCPU.
+func profileJobsCombos() [][2]int {
+	cpus := runtime.NumCPU()
+	return [][2]int{
+		{1, 1}, {1, 2}, {2, cpus}, {3, 16},
+		{cpus, 1}, {cpus, cpus}, {16, 2}, {16, 16},
+	}
+}
+
 // TestProfileHierJobsMatchesSequential is the sharded hierarchy
 // profiler's core property: byte-identical HierCurves against the
-// sequential path across the mixed-policy test grid, worker counts, and
-// spilled vs in-memory traces, with the trace still decoded once per
-// pass.
+// sequential path across the mixed-policy test grid, (worker, decode
+// worker) counts, and spilled vs in-memory traces, with the trace still
+// decoded once per pass.
 func TestProfileHierJobsMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	spec := testSpec()
-	jobsList := []int{1, 2, 3, runtime.NumCPU(), 16}
 	for trial := 0; trial < 3; trial++ {
 		for _, spill := range []bool{false, true} {
 			n := 4000
@@ -43,17 +54,18 @@ func TestProfileHierJobsMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, jobs := range jobsList {
+			for _, combo := range profileJobsCombos() {
+				jobs, djobs := combo[0], combo[1]
 				before := l.Replays()
-				got, err := ProfileHierJobs(l, spec, jobs)
+				got, err := ProfileHierJobs(l, spec, jobs, djobs)
 				if err != nil {
-					t.Fatalf("jobs=%d: %v", jobs, err)
+					t.Fatalf("jobs=%d decodejobs=%d: %v", jobs, djobs, err)
 				}
 				if l.Replays() != before+1 {
-					t.Fatalf("jobs=%d: %d replays for one pass", jobs, l.Replays()-before)
+					t.Fatalf("jobs=%d decodejobs=%d: %d replays for one pass", jobs, djobs, l.Replays()-before)
 				}
 				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("trial %d spill=%v jobs=%d: sharded hier curves differ from sequential", trial, spill, jobs)
+					t.Fatalf("trial %d spill=%v jobs=%d decodejobs=%d: sharded hier curves differ from sequential", trial, spill, jobs, djobs)
 				}
 			}
 			if err := l.Close(); err != nil {
@@ -74,21 +86,25 @@ func TestProfileHierJobsEmptyWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ProfileHierJobs(l, spec, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatal("sharded hier curves differ on empty window")
+	for _, djobs := range []int{1, 4} {
+		got, err := ProfileHierJobs(l, spec, 4, djobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decodejobs=%d: sharded hier curves differ on empty window", djobs)
+		}
 	}
 }
 
 // TestProfileSharedJobsMatchesSequential: byte-identical SharedCurves —
 // per-processor L1 misses, aggregate L2 misses, access tallies — across
-// processor counts, worker counts, and spilled traces.
+// processor counts, (worker, decode worker) counts, and spilled traces.
+// The parallel decoder tags processors chunk-locally from the
+// interleaving's run-length offsets, so procs > 1 with decodejobs > 1 is
+// the procCursor's equivalence coverage.
 func TestProfileSharedJobsMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	jobsList := []int{1, 2, 3, runtime.NumCPU(), 16}
 	for _, procs := range []int{1, 2, 4} {
 		for _, spill := range []int64{0, 1} {
 			n := 5000
@@ -117,17 +133,18 @@ func TestProfileSharedJobsMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, jobs := range jobsList {
+			for _, combo := range profileJobsCombos() {
+				jobs, djobs := combo[0], combo[1]
 				before := pl.Replays()
-				got, err := ProfileSharedJobs(pl, spec, jobs)
+				got, err := ProfileSharedJobs(pl, spec, jobs, djobs)
 				if err != nil {
-					t.Fatalf("procs=%d jobs=%d: %v", procs, jobs, err)
+					t.Fatalf("procs=%d jobs=%d decodejobs=%d: %v", procs, jobs, djobs, err)
 				}
 				if pl.Replays() != before+1 {
-					t.Fatalf("jobs=%d: %d replays for one pass", jobs, pl.Replays()-before)
+					t.Fatalf("jobs=%d decodejobs=%d: %d replays for one pass", jobs, djobs, pl.Replays()-before)
 				}
 				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("procs=%d spill=%d jobs=%d: sharded shared curves differ from sequential", procs, spill, jobs)
+					t.Fatalf("procs=%d spill=%d jobs=%d decodejobs=%d: sharded shared curves differ from sequential", procs, spill, jobs, djobs)
 				}
 			}
 			if err := pl.Close(); err != nil {

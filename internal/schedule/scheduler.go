@@ -43,6 +43,13 @@ type Env struct {
 	// path, larger values pin the count. The sharded and sequential paths
 	// produce byte-identical curves, so this is purely a speed knob.
 	ProfileJobs int
+	// DecodeJobs is the parallel chunk-decode width of the same profiling
+	// stages (trace.Log.FanOut's decode workers), with the same
+	// convention: 0 uses one worker per CPU, 1 forces the sequential
+	// in-order decoder, larger values pin the count (capped at the
+	// trace's chunk count). Also purely a speed knob — the reorder stage
+	// keeps results byte-identical.
+	DecodeJobs int
 }
 
 // metrics resolves the environment's registry (explicit, else the process

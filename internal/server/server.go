@@ -83,6 +83,11 @@ type Config struct {
 	// pool is the better parallelism axis; raise it for big single
 	// profiles on an idle daemon.
 	ProfileJobs int
+	// DecodeJobs is schedule.Env.DecodeJobs for each computation: the
+	// parallel chunk-decode width of the profiling pipeline. Default 1
+	// (sequential decode) for the same reason as ProfileJobs; raise both
+	// together for big single profiles on an idle daemon.
+	DecodeJobs int
 	// Timeout bounds how long a client waits for a computation (the
 	// computation itself runs to completion and fills the cache).
 	// Default 60s.
@@ -148,6 +153,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ProfileJobs == 0 {
 		cfg.ProfileJobs = 1
+	}
+	if cfg.DecodeJobs == 0 {
+		cfg.DecodeJobs = 1
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 60 * time.Second
@@ -431,7 +439,7 @@ func (s *Server) computePlan(req *PlanRequest, g *sdf.Graph, key plancache.Key) 
 	if err != nil {
 		return nil, err
 	}
-	env := schedule.Env{M: req.M, B: req.B, Metrics: s.reg, ProfileJobs: s.cfg.ProfileJobs}
+	env := schedule.Env{M: req.M, B: req.B, Metrics: s.reg, ProfileJobs: s.cfg.ProfileJobs, DecodeJobs: s.cfg.DecodeJobs}
 	plan, err := sched.Prepare(g, env)
 	if err != nil {
 		return nil, fmt.Errorf("plan %s: %w", sched.Name(), err)
@@ -464,7 +472,7 @@ func (s *Server) computeProfile(req *ProfileRequest, g *sdf.Graph, key plancache
 	if err != nil {
 		return nil, err
 	}
-	env := schedule.Env{M: req.M, B: req.B, Metrics: s.reg, ProfileJobs: s.cfg.ProfileJobs}
+	env := schedule.Env{M: req.M, B: req.B, Metrics: s.reg, ProfileJobs: s.cfg.ProfileJobs, DecodeJobs: s.cfg.DecodeJobs}
 	cr, err := schedule.MeasureCurve(g, sched, env, req.B, req.Warm, req.Measure)
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", sched.Name(), err)
@@ -525,6 +533,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_budget":  s.cache.Budget(),
 		"jobs":          s.cfg.Jobs,
 		"profile_jobs":  s.cfg.ProfileJobs,
+		"decode_jobs":   s.cfg.DecodeJobs,
 		"cache_hits":    snap.Counters["cache.hits"],
 		"cache_misses":  snap.Counters["cache.misses"],
 		"evictions":     snap.Counters["cache.evictions"],

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestChunkStandaloneRoundTrip is the delta-reset invariant the parallel
+// decoder depends on: every sealed chunk (and the open tail) must decode
+// standalone from its recorded base and global start index to exactly the
+// slice of the full stream it covers — randomised logs, spilled and
+// in-memory.
+func TestChunkStandaloneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		spill := trial%2 == 1
+		l := randomShardLog(t, rng, 2000+rng.Intn(4000), spill)
+
+		var full []int64
+		if err := l.ForEach(func(blk int64) { full = append(full, blk) }); err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(full)) != l.Len() {
+			t.Fatalf("full decode yielded %d accesses, recorded %d", len(full), l.Len())
+		}
+
+		nc := l.numChunks()
+		if spill && nc < 2 {
+			t.Fatalf("spill trial sealed only %d chunks; grow the trace", nc)
+		}
+		var covered int64
+		// Walk the chunks in a scrambled order: standalone means no chunk
+		// may depend on a predecessor having been decoded first.
+		order := rng.Perm(nc)
+		var readBuf []byte
+		for _, i := range order {
+			meta := l.chunkAt(i)
+			buf, err := l.chunkBytes(i, &readBuf)
+			if err != nil {
+				t.Fatalf("chunk %d: %v", i, err)
+			}
+			blks, err := decodeChunkBlocks(nil, buf, meta, i)
+			if err != nil {
+				t.Fatalf("chunk %d standalone decode: %v", i, err)
+			}
+			want := full[meta.start : meta.start+meta.n]
+			if !reflect.DeepEqual(blks, want) {
+				t.Fatalf("trial %d chunk %d (start %d, n %d): standalone decode differs from full replay", trial, i, meta.start, meta.n)
+			}
+			covered += meta.n
+		}
+		if covered != l.Len() {
+			t.Fatalf("chunks cover %d accesses, recorded %d", covered, l.Len())
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// corruptibleLog records large-delta accesses until at least chunks
+// chunks exist, returning the log and the expected stream.
+func corruptibleLog(t *testing.T, chunks int, spillAt int64) *Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(37))
+	l := NewLog()
+	if spillAt > 0 {
+		l.SetSpillThreshold(spillAt)
+	}
+	for len(l.metas) < chunks || len(l.cur) == 0 {
+		l.RecordBlock(rng.Int63() - rng.Int63()) // huge deltas: ~10 bytes each
+	}
+	return l
+}
+
+// TestCorruptChunkInMemory corrupts a sealed in-memory chunk and asserts
+// the decode error names the chunk index and byte offset — the old
+// decoder's anonymous "corrupt varint in chunk" left both out — and that
+// in-memory corruption does not latch the log.
+func TestCorruptChunkInMemory(t *testing.T) {
+	l := corruptibleLog(t, 2, 0)
+	if l.onDisk != 0 || len(l.chunks) < 2 {
+		t.Fatalf("want >= 2 in-memory chunks, have %d (onDisk %d)", len(l.chunks), l.onDisk)
+	}
+	// A run of continuation bytes longer than any valid varint: the
+	// decoder must flag the run's first byte.
+	const at = 100
+	copy(l.chunks[1][at:], bytes.Repeat([]byte{0xff}, 16))
+
+	err := l.ForEach(func(int64) {})
+	if err == nil {
+		t.Fatal("corrupt chunk decoded without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "chunk 1") {
+		t.Errorf("error %q does not name chunk 1", msg)
+	}
+	if !strings.Contains(msg, "byte offset") {
+		t.Errorf("error %q does not name the byte offset", msg)
+	}
+	var ce *chunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a chunkError", err)
+	}
+	if ce.chunk != 1 || ce.off < at-10 || ce.off > at {
+		t.Errorf("chunkError = chunk %d offset %d, want chunk 1 near offset %d", ce.chunk, ce.off, at)
+	}
+	if l.Err() != nil {
+		t.Errorf("in-memory corruption latched the log: %v", l.Err())
+	}
+	// FanOut's parallel decoder must surface the same failure.
+	if err := l.FanOut([]WindowedConsumer{&recordingConsumer{}}, 4); err == nil {
+		t.Error("parallel FanOut decoded the corrupt chunk without error")
+	} else if !strings.Contains(err.Error(), "chunk 1") {
+		t.Errorf("parallel FanOut error %q does not name chunk 1", err)
+	}
+}
+
+// TestCorruptChunkSpilled is the streaming-reader regression test: a
+// corrupt chunk in the spill file must be reported with chunk index and
+// byte offset, and — unlike in-memory corruption — must latch the log, so
+// later replays refuse rather than re-trusting a damaged file.
+func TestCorruptChunkSpilled(t *testing.T) {
+	l := corruptibleLog(t, 3, 1)
+	if err := l.ForEach(func(int64) {}); err != nil { // flushes the spill writer
+		t.Fatal(err)
+	}
+	if l.onDisk < 3 {
+		t.Fatalf("want >= 3 spilled chunks, have %d", l.onDisk)
+	}
+	const at = 57
+	if _, err := l.spill.WriteAt(bytes.Repeat([]byte{0xff}, 16), l.metas[2].off+at); err != nil {
+		t.Fatal(err)
+	}
+
+	err := l.ForEach(func(int64) {})
+	if err == nil {
+		t.Fatal("corrupt spilled chunk decoded without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "chunk 2") {
+		t.Errorf("error %q does not name chunk 2", msg)
+	}
+	if !strings.Contains(msg, "byte offset") {
+		t.Errorf("error %q does not name the byte offset", msg)
+	}
+	if l.Err() == nil {
+		t.Fatal("spilled corruption did not latch the log")
+	}
+	if err2 := l.ForEach(func(int64) {}); err2 == nil {
+		t.Fatal("latched log replayed anyway")
+	}
+	if err := l.Close(); err == nil {
+		t.Error("Close did not report the latched error")
+	}
+}
+
+// TestCorruptChunkSpilledParallel runs the corruption through the
+// parallel FanOut front end: the reorder stage must drain cleanly (no
+// deadlock, no goroutine leak under -race) and report the chunk error.
+func TestCorruptChunkSpilledParallel(t *testing.T) {
+	l := corruptibleLog(t, 4, 1)
+	if err := l.flushSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if l.onDisk < 4 {
+		t.Fatalf("want >= 4 spilled chunks, have %d", l.onDisk)
+	}
+	if _, err := l.spill.WriteAt(bytes.Repeat([]byte{0xff}, 16), l.metas[1].off+11); err != nil {
+		t.Fatal(err)
+	}
+	cons := []WindowedConsumer{&recordingConsumer{}, &recordingConsumer{}}
+	err := l.FanOut(cons, 4)
+	if err == nil {
+		t.Fatal("parallel FanOut decoded the corrupt spill without error")
+	}
+	if !strings.Contains(err.Error(), "chunk 1") {
+		t.Errorf("error %q does not name chunk 1", err)
+	}
+	if l.Err() == nil {
+		t.Error("spilled corruption did not latch via the parallel path")
+	}
+}

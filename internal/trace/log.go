@@ -3,9 +3,10 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
 	"os"
+	"sync"
 	"time"
 
 	"streamsched/internal/obs"
@@ -22,6 +23,14 @@ const logChunkSize = 64 << 10
 // in-memory encoding exceeds it, sealed chunks are appended to an unlinked
 // temporary file so arbitrarily long traces hold only O(1) memory.
 //
+// Every sealed chunk carries a small in-memory chunkMeta recording its
+// delta base (the block id preceding the chunk's first access), its global
+// access index, its access count, and — once spilled — its byte offset in
+// the spill file. A chunk therefore decodes standalone, which is what lets
+// the FanOut pipeline decode sealed chunks on parallel workers and lets
+// ForEach read the spill file at chunk granularity via ReadAt instead of
+// the seek-restore dance.
+//
 // A Log records a single logical run. MarkWindow splits it into a warmup
 // prefix and a measured window, mirroring schedule.Measure's
 // warm-then-reset-stats protocol: profiling replays the whole trace (the
@@ -30,11 +39,15 @@ const logChunkSize = 64 << 10
 // The zero value is ready to use and never spills. Log is not safe for
 // concurrent use.
 type Log struct {
-	chunks [][]byte // sealed, still-in-memory chunks, in order
-	cur    []byte   // open chunk being appended to
-	prev   int64    // previous block id (delta base)
-	n      int64    // total recorded accesses
-	window int64    // index of the first measured access (0: whole trace)
+	chunks   [][]byte    // sealed, still-in-memory chunks, in order
+	metas    []chunkMeta // one per sealed chunk ever (spilled metas first)
+	onDisk   int         // metas[:onDisk] have their bytes in the spill file
+	cur      []byte      // open chunk being appended to
+	curBase  int64       // delta base of cur's first access
+	curStart int64       // global access index of cur's first access
+	prev     int64       // previous block id (delta base)
+	n        int64       // total recorded accesses
+	window   int64       // index of the first measured access (0: whole trace)
 
 	spillAt  int64 // seal-bytes threshold that triggers spilling; 0: never
 	memBytes int64 // bytes held in sealed in-memory chunks
@@ -61,6 +74,19 @@ type logMetrics struct {
 	spillB   *obs.Counter
 	replays  *obs.Counter
 	decode   *obs.Timer
+}
+
+// chunkMeta makes one sealed chunk standalone-decodable: the chunk's
+// varint deltas accumulate onto base, its first access sits at global
+// index start, and it decodes to exactly n accesses. off is the chunk's
+// byte offset in the spill file, -1 while its bytes are still in memory.
+// Metas are tiny (one per 64KB of encoded trace) and never spill.
+type chunkMeta struct {
+	base  int64
+	start int64
+	n     int64
+	bytes int64
+	off   int64
 }
 
 var nopLogMetrics logMetrics
@@ -133,12 +159,14 @@ func (l *Log) SetSpillThreshold(limit int64) {
 
 // RecordBlock implements Recorder: it appends one block access.
 func (l *Log) RecordBlock(blk int64) {
+	if l.cur == nil {
+		l.cur = make([]byte, 0, logChunkSize)
+		l.curBase = l.prev
+		l.curStart = l.n
+	}
 	delta := blk - l.prev
 	l.prev = blk
 	m := binary.PutVarint(l.scratch[:], delta)
-	if l.cur == nil {
-		l.cur = make([]byte, 0, logChunkSize)
-	}
 	l.cur = append(l.cur, l.scratch[:m]...)
 	l.n++
 	l.metrics().accesses.Add(1)
@@ -147,7 +175,8 @@ func (l *Log) RecordBlock(blk int64) {
 	}
 }
 
-// seal closes the open chunk and spills if over the threshold.
+// seal closes the open chunk, recording its standalone-decode metadata,
+// and spills if over the threshold.
 func (l *Log) seal() {
 	if len(l.cur) == 0 {
 		return
@@ -160,6 +189,13 @@ func (l *Log) seal() {
 		return
 	}
 	l.chunks = append(l.chunks, l.cur)
+	l.metas = append(l.metas, chunkMeta{
+		base:  l.curBase,
+		start: l.curStart,
+		n:     l.n - l.curStart,
+		bytes: int64(len(l.cur)),
+		off:   -1,
+	})
 	l.memBytes += int64(len(l.cur))
 	l.cur = nil
 	l.sealed++
@@ -191,6 +227,8 @@ func (l *Log) spillChunks() {
 			l.err = fmt.Errorf("trace: spill write: %w", err)
 			return
 		}
+		l.metas[l.onDisk].off = l.spilled
+		l.onDisk++
 		l.spilled += int64(len(c))
 		moved += int64(len(c))
 	}
@@ -231,7 +269,11 @@ func (l *Log) Err() error { return l.err }
 func (l *Log) Replays() int64 { return l.replays }
 
 // ForEach replays every recorded access in order. It may be called
-// repeatedly; the log remains appendable afterwards.
+// repeatedly; the log remains appendable afterwards. Decoding is
+// chunk-at-a-time through the batched varint fast path — the same
+// primitive the parallel FanOut decoder uses — with spilled chunks read
+// back at chunk granularity via ReadAt (the spill writer's offset is
+// never disturbed).
 func (l *Log) ForEach(fn func(blk int64)) error {
 	if l.err != nil {
 		return l.err
@@ -244,44 +286,104 @@ func (l *Log) ForEach(fn func(blk int64)) error {
 	if met.reg != nil {
 		began = time.Now()
 	}
-	dec := logDecoder{fn: fn}
-	if l.spill != nil {
-		// Any failure here is latched into l.err: the spill file's offset
-		// or contents can no longer be trusted, so later appends must not
-		// silently overwrite spilled data and later replays must refuse.
-		if err := l.spillW.Flush(); err != nil {
-			l.err = fmt.Errorf("trace: spill flush: %w", err)
-			return l.err
+	if err := l.flushSpill(); err != nil {
+		return err
+	}
+	slabp := getDecodeSlab()
+	defer putDecodeSlab(slabp)
+	var readBuf []byte
+	for i, nc := 0, l.numChunks(); i < nc; i++ {
+		buf, err := l.chunkBytes(i, &readBuf)
+		if err != nil {
+			return l.latchChunk(err)
 		}
-		if _, err := l.spill.Seek(0, io.SeekStart); err != nil {
-			l.err = fmt.Errorf("trace: spill seek: %w", err)
-			return l.err
+		blks, err := decodeChunkBlocks((*slabp)[:0], buf, l.chunkAt(i), i)
+		if err != nil {
+			return l.latchChunk(err)
 		}
-		r := bufio.NewReaderSize(io.LimitReader(l.spill, l.spilled), 1<<20)
-		readErr := dec.readAll(r)
-		// Restore the write offset before anything else: subsequent spill
-		// writes must continue where the data ends.
-		if _, err := l.spill.Seek(l.spilled, io.SeekStart); err != nil {
-			l.err = fmt.Errorf("trace: spill reseek: %w", err)
-			return l.err
-		}
-		if readErr != nil {
-			l.err = fmt.Errorf("trace: spill decode: %w", readErr)
-			return l.err
+		for _, b := range blks {
+			fn(b)
 		}
 	}
-	for _, c := range l.chunks {
-		dec.feed(c)
+	l.replays++
+	met.replays.Add(1)
+	if met.reg != nil {
+		met.decode.Observe(time.Since(began))
 	}
-	dec.feed(l.cur)
-	if dec.err == nil {
-		l.replays++
-		met.replays.Add(1)
-		if met.reg != nil {
-			met.decode.Observe(time.Since(began))
-		}
+	return nil
+}
+
+// flushSpill pushes buffered spill writes to the file so chunk reads see
+// every sealed byte. A flush failure is latched: the spill file's
+// contents can no longer be trusted.
+func (l *Log) flushSpill() error {
+	if l.spill == nil {
+		return nil
 	}
-	return dec.err
+	if err := l.spillW.Flush(); err != nil {
+		l.err = fmt.Errorf("trace: spill flush: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+// numChunks returns how many standalone-decodable chunks the log holds:
+// every sealed chunk plus the open tail when non-empty.
+func (l *Log) numChunks() int {
+	if len(l.cur) > 0 {
+		return len(l.metas) + 1
+	}
+	return len(l.metas)
+}
+
+// chunkAt returns chunk i's standalone-decode metadata; i == len(l.metas)
+// addresses the open tail chunk.
+func (l *Log) chunkAt(i int) chunkMeta {
+	if i < len(l.metas) {
+		return l.metas[i]
+	}
+	return chunkMeta{
+		base:  l.curBase,
+		start: l.curStart,
+		n:     l.n - l.curStart,
+		bytes: int64(len(l.cur)),
+		off:   -1,
+	}
+}
+
+// chunkBytes returns chunk i's encoded bytes. Spilled chunks are read
+// into *readBuf (grown on demand, reused across calls) with ReadAt, which
+// is safe under concurrent readers — the parallel decode workers each
+// carry their own readBuf — and leaves the spill writer's offset alone.
+// The caller must have flushed the spill writer first.
+func (l *Log) chunkBytes(i int, readBuf *[]byte) ([]byte, error) {
+	if i >= len(l.metas) {
+		return l.cur, nil
+	}
+	m := l.metas[i]
+	if m.off < 0 {
+		return l.chunks[i-l.onDisk], nil
+	}
+	if int64(cap(*readBuf)) < m.bytes {
+		*readBuf = make([]byte, m.bytes)
+	}
+	buf := (*readBuf)[:m.bytes]
+	if _, err := l.spill.ReadAt(buf, m.off); err != nil {
+		return nil, &chunkError{chunk: i, off: 0, spilled: true, msg: "spill read failed", cause: err}
+	}
+	return buf, nil
+}
+
+// latchChunk poisons the log when a chunk failure implicates the spill
+// file (its contents can no longer be trusted, so later replays must
+// refuse); corruption of a still-in-memory chunk leaves the log state
+// alone.
+func (l *Log) latchChunk(err error) error {
+	var ce *chunkError
+	if errors.As(err, &ce) && ce.spilled {
+		l.err = err
+	}
+	return err
 }
 
 // ForEachWindowed replays every recorded access in order like ForEach,
@@ -330,41 +432,103 @@ func (l *Log) Close() error {
 	return l.err
 }
 
-// logDecoder streams varint deltas back into block ids. Varints never span
-// chunk boundaries (each RecordBlock appends a whole varint to one chunk),
-// but they may span bufio reads, so readAll uses ReadByte semantics.
-type logDecoder struct {
-	fn   func(int64)
-	prev int64
-	err  error
+// chunkError is a chunk-granular read or decode failure. It names the
+// chunk index and the byte offset within the chunk (0 for whole-chunk
+// read failures), so a corruption report pinpoints the damage instead of
+// the old anonymous "corrupt varint in chunk". spilled failures poison
+// the log — see Log.latchChunk.
+type chunkError struct {
+	chunk   int
+	off     int64
+	spilled bool
+	msg     string
+	cause   error
 }
 
-func (d *logDecoder) feed(buf []byte) {
-	if d.err != nil {
-		return
+func (e *chunkError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("trace: %s in chunk %d at byte offset %d: %v", e.msg, e.chunk, e.off, e.cause)
 	}
-	for len(buf) > 0 {
-		delta, m := binary.Varint(buf)
-		if m <= 0 {
-			d.err = fmt.Errorf("trace: corrupt varint in chunk")
-			return
-		}
-		buf = buf[m:]
-		d.prev += delta
-		d.fn(d.prev)
-	}
+	return fmt.Sprintf("trace: %s in chunk %d at byte offset %d", e.msg, e.chunk, e.off)
 }
 
-func (d *logDecoder) readAll(r io.ByteReader) error {
-	for {
-		delta, err := binary.ReadVarint(r)
-		if err == io.EOF {
-			return nil
+func (e *chunkError) Unwrap() error { return e.cause }
+
+// errCorruptVarint is appendVarintDeltas' sentinel; the chunk-level
+// wrappers turn it into a *chunkError carrying chunk index and offset.
+var errCorruptVarint = errors.New("corrupt varint")
+
+// decodeSlabPool recycles whole-chunk decode buffers for the sequential
+// path: one chunk's accesses fit because every encoded access is at least
+// one byte and a chunk never grows past logChunkSize plus one varint.
+var decodeSlabPool = sync.Pool{New: func() any {
+	s := make([]int64, 0, logChunkSize+binary.MaxVarintLen64)
+	return &s
+}}
+
+func getDecodeSlab() *[]int64  { return decodeSlabPool.Get().(*[]int64) }
+func putDecodeSlab(s *[]int64) { decodeSlabPool.Put(s) }
+
+// appendVarintDeltas is the batched varint fast path: it decodes
+// zigzag-varint deltas from buf, accumulating them onto prev and
+// appending the absolute block ids to dst, in one tight loop with no
+// per-access interface calls — a single-byte fast path (the common case:
+// streaming strides encode in one byte) and an inline continuation loop
+// otherwise. It stops when buf is exhausted or dst reaches capacity and
+// returns the extended dst, the unconsumed bytes, and the running block
+// id. On corruption rest points at the offending varint's first byte and
+// err is errCorruptVarint.
+func appendVarintDeltas(dst []int64, buf []byte, prev int64) (out []int64, rest []byte, last int64, err error) {
+	for len(buf) > 0 && len(dst) < cap(dst) {
+		ux := uint64(buf[0])
+		if ux < 0x80 {
+			buf = buf[1:]
+		} else {
+			ux &= 0x7f
+			s := uint(7)
+			i := 1
+			for {
+				if i >= len(buf) || s > 63 {
+					return dst, buf, prev, errCorruptVarint
+				}
+				b := buf[i]
+				i++
+				if b < 0x80 {
+					ux |= uint64(b) << s
+					break
+				}
+				ux |= uint64(b&0x7f) << s
+				s += 7
+			}
+			buf = buf[i:]
 		}
-		if err != nil {
-			return err
+		delta := int64(ux >> 1)
+		if ux&1 != 0 {
+			delta = ^delta
 		}
-		d.prev += delta
-		d.fn(d.prev)
+		prev += delta
+		dst = append(dst, prev)
 	}
+	return dst, buf, prev, nil
+}
+
+// decodeChunkBlocks decodes one whole chunk into dst via the batched fast
+// path and cross-checks the decoded access count against the chunk's
+// sealed metadata, so truncated or padded chunks surface as corruption
+// instead of silently skewing every consumer's global indices.
+func decodeChunkBlocks(dst []int64, buf []byte, meta chunkMeta, idx int) ([]int64, error) {
+	if int64(cap(dst)) < meta.n {
+		dst = make([]int64, 0, meta.n)
+	}
+	out, rest, _, err := appendVarintDeltas(dst[:0:len(dst)+int(meta.n)], buf, meta.base)
+	if err != nil {
+		return nil, &chunkError{chunk: idx, off: int64(len(buf) - len(rest)), spilled: meta.off >= 0, msg: "corrupt varint"}
+	}
+	if len(rest) > 0 || int64(len(out)) != meta.n {
+		return nil, &chunkError{
+			chunk: idx, off: int64(len(buf) - len(rest)), spilled: meta.off >= 0,
+			msg: fmt.Sprintf("access count mismatch (decoded %d of sealed %d, %d bytes undecoded)", len(out), meta.n, len(rest)),
+		}
+	}
+	return out, nil
 }

@@ -359,7 +359,7 @@ func (s *OrgShards) PublishMetrics(reg *obs.Registry, curves []*OrgCurves) {
 // profileWorkers resolves a jobs knob to a worker count: <= 0 means one
 // worker per available CPU (GOMAXPROCS), 1 forces the sequential path,
 // larger values are taken as given. Shared by every ProfileJobs entry
-// point and schedule.Env.ProfileJobs.
+// point, the decodeJobs knob, and schedule.Env.
 func profileWorkers(jobs int) int {
 	if jobs <= 0 {
 		return runtime.GOMAXPROCS(0)
@@ -372,15 +372,52 @@ func profileWorkers(jobs int) int {
 // the knob themselves.
 func ProfileWorkers(jobs int) int { return profileWorkers(jobs) }
 
+// OrgShardUnits counts the independently-shardable structures across a
+// spec list: each spec contributes one per-set LRU stack per set plus one
+// FIFO row per set per distinct replayed way count. A worker beyond this
+// count would own nothing — a grid of Sets=1 structures, say, cannot use
+// more workers than structures — so the ProfileJobs entry points cap the
+// pool at it (the adaptive jobs heuristic; the chosen count is published
+// as profile.shard.workers).
+func OrgShardUnits(specs []OrgSpec) int64 {
+	var units int64
+	for _, sp := range specs {
+		seen := make(map[int64]bool, len(sp.FIFOWays))
+		distinct := int64(0)
+		for _, w := range sp.FIFOWays {
+			if !seen[w] {
+				seen[w] = true
+				distinct++
+			}
+		}
+		units += sp.Sets * (1 + distinct)
+	}
+	return units
+}
+
+// capWorkers applies the adaptive heuristic: never more workers than
+// independent units (floor 1).
+func capWorkers(w int, units int64) int {
+	if units < 1 {
+		units = 1
+	}
+	if int64(w) > units {
+		return int(units)
+	}
+	return w
+}
+
 // ProfileOrgsJobs is ProfileOrgs with the profiling work sharded across
 // a worker pool: jobs <= 0 uses one worker per CPU, 1 is exactly
-// ProfileOrgs, and larger values pin the worker count. The trace is
-// decoded once (streamed straight off the spill file through the FanOut
-// pipeline) and the returned curves are byte-identical to the sequential
-// path's, in spec order.
-func ProfileOrgsJobs(l *Log, specs []OrgSpec, jobs int) ([]*OrgCurves, error) {
-	w := profileWorkers(jobs)
-	if w <= 1 {
+// ProfileOrgs, and larger values pin the worker count — capped at
+// OrgShardUnits(specs), since a worker with no structures is pure
+// overhead. The trace is decoded once — with decodeJobs parallel chunk
+// decoders (same knob convention, capped at the chunk count) — and the
+// returned curves are byte-identical to the sequential path's, in spec
+// order.
+func ProfileOrgsJobs(l *Log, specs []OrgSpec, jobs, decodeJobs int) ([]*OrgCurves, error) {
+	w := capWorkers(profileWorkers(jobs), OrgShardUnits(specs))
+	if w <= 1 && profileWorkers(decodeJobs) <= 1 {
 		return ProfileOrgs(l, specs)
 	}
 	shards, err := NewOrgShards(specs, w)
@@ -393,7 +430,7 @@ func ProfileOrgsJobs(l *Log, specs []OrgSpec, jobs int) ([]*OrgCurves, error) {
 	for i := range consumers {
 		consumers[i] = shards.Shard(i)
 	}
-	if err := l.FanOut(consumers); err != nil {
+	if err := l.FanOut(consumers, decodeJobs); err != nil {
 		return nil, err
 	}
 	curves := shards.Curves()

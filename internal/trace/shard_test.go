@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"streamsched/internal/obs"
 )
 
 // randomShardLog builds a trace with a mix of strided, looping, and random
@@ -60,12 +62,15 @@ func shardSpecPool() [][]OrgSpec {
 
 // TestProfileOrgsJobsMatchesSequential is the shard router's core
 // property: for random traces and spec grids, the sharded curves must be
-// byte-identical to the sequential ones at every worker count, spilled or
-// in-memory, and the trace must still be decoded exactly once per pass.
+// byte-identical to the sequential ones at every (worker, decode worker)
+// count, spilled or in-memory, and the trace must still be decoded
+// exactly once per pass — the parallel chunk decoder's reorder stage
+// included.
 func TestProfileOrgsJobsMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	jobsList := []int{1, 2, 3, runtime.NumCPU(), 16}
-	trials := 3
+	djobsList := []int{1, 2, runtime.NumCPU(), 16}
+	trials := 2
 	if testing.Short() {
 		trials = 1
 	}
@@ -78,16 +83,18 @@ func TestProfileOrgsJobsMatchesSequential(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, jobs := range jobsList {
-					before := l.Replays()
-					got, err := ProfileOrgsJobs(l, specs, jobs)
-					if err != nil {
-						t.Fatalf("jobs=%d: %v", jobs, err)
-					}
-					if l.Replays() != before+1 {
-						t.Fatalf("jobs=%d: %d replays for one pass", jobs, l.Replays()-before)
-					}
-					if !reflect.DeepEqual(got, want) {
-						t.Fatalf("trial %d specs %v spill=%v jobs=%d: sharded curves differ from sequential", trial, specs, spill, jobs)
+					for _, djobs := range djobsList {
+						before := l.Replays()
+						got, err := ProfileOrgsJobs(l, specs, jobs, djobs)
+						if err != nil {
+							t.Fatalf("jobs=%d decodejobs=%d: %v", jobs, djobs, err)
+						}
+						if l.Replays() != before+1 {
+							t.Fatalf("jobs=%d decodejobs=%d: %d replays for one pass", jobs, djobs, l.Replays()-before)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("trial %d specs %v spill=%v jobs=%d decodejobs=%d: sharded curves differ from sequential", trial, specs, spill, jobs, djobs)
+						}
 					}
 				}
 				if err := l.Close(); err != nil {
@@ -118,12 +125,14 @@ func TestProfileOrgsJobsWindowEdges(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ProfileOrgsJobs(l, specs, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("mark=%d: sharded curves differ", mark)
+		for _, djobs := range []int{1, 4} {
+			got, err := ProfileOrgsJobs(l, specs, 4, djobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("mark=%d decodejobs=%d: sharded curves differ", mark, djobs)
+			}
 		}
 	}
 
@@ -132,7 +141,7 @@ func TestProfileOrgsJobsWindowEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ProfileOrgsJobs(empty, specs, 4)
+	got, err := ProfileOrgsJobs(empty, specs, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,12 +166,64 @@ func TestProfileOrgsJobsMoreWorkersThanState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ProfileOrgsJobs(l, specs, 64)
+	got, err := ProfileOrgsJobs(l, specs, 64, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("sharded curves differ with idle workers")
+	}
+
+	// The adaptive heuristic must still tolerate direct construction with
+	// more workers than structures: extra shards own nothing and stay
+	// inert (the ProfileOrgsJobs entry point itself caps at OrgShardUnits,
+	// asserted in TestProfileOrgsJobsAdaptiveWorkerCap).
+	shards, err := NewOrgShards(specs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make([]WindowedConsumer, 64)
+	for i := range cons {
+		cons[i] = shards.Shard(i)
+	}
+	if err := l.FanOut(cons, 2); err != nil {
+		t.Fatal(err)
+	}
+	if direct := shards.Curves(); !reflect.DeepEqual(direct, want) {
+		t.Fatal("directly-constructed oversized shard pool differs")
+	}
+}
+
+// TestProfileOrgsJobsAdaptiveWorkerCap asserts the adaptive jobs
+// heuristic: the chosen shard worker count (profile.shard.workers) is
+// capped at the grid's independent unit count, and the decode worker
+// count (profile.pipeline.decode.workers) at the trace's chunk count — a
+// small in-memory trace is one chunk, so a huge -decodejobs collapses
+// to 1.
+func TestProfileOrgsJobsAdaptiveWorkerCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLog()
+	l.SetMetrics(reg)
+	for i := 0; i < 200; i++ {
+		l.RecordBlock(int64(i % 9))
+	}
+	l.MarkWindow()
+	for i := 0; i < 800; i++ {
+		l.RecordBlock(int64((i * 3) % 9))
+	}
+	specs := []OrgSpec{{Sets: 2, FIFOWays: []int64{2, 2}}} // 2 LRU sets + 2 FIFO rows = 4 units
+	if u := OrgShardUnits(specs); u != 4 {
+		t.Fatalf("OrgShardUnits = %d, want 4", u)
+	}
+	if _, err := ProfileOrgsJobs(l, specs, 64, 16); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if w := snap.Gauges["profile.shard.workers"]; w != 4 {
+		t.Fatalf("profile.shard.workers = %d, want the 4-unit cap", w)
+	}
+	if w := snap.Gauges["profile.pipeline.decode.workers"]; w != 1 {
+		t.Fatalf("profile.pipeline.decode.workers = %d, want 1 (single-chunk trace)", w)
 	}
 }
 
@@ -181,11 +242,13 @@ func (r *recordingConsumer) Touch(blk int64) {
 
 // TestFanOutMatchesForEachWindowed checks the pipeline's delivery
 // contract directly: every consumer sees the full stream in order with
-// exactly one reset at the window position.
+// exactly one reset at the window position, at every decode width.
 func TestFanOutMatchesForEachWindowed(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
+	djobsList := []int{1, 2, runtime.NumCPU(), 16}
 	for trial := 0; trial < 10; trial++ {
 		spill := trial%2 == 1
+		djobs := djobsList[trial%len(djobsList)]
 		l := randomShardLog(t, rng, 2500+rng.Intn(3000), spill)
 
 		var wantBlks []int64
@@ -203,18 +266,18 @@ func TestFanOutMatchesForEachWindowed(t *testing.T) {
 			recs[i] = &recordingConsumer{resetAt: -1}
 			cons[i] = recs[i]
 		}
-		if err := l.FanOut(cons); err != nil {
+		if err := l.FanOut(cons, djobs); err != nil {
 			t.Fatal(err)
 		}
 		for i, r := range recs {
 			if r.resets != 1 {
-				t.Fatalf("consumer %d: %d resets", i, r.resets)
+				t.Fatalf("decodejobs=%d consumer %d: %d resets", djobs, i, r.resets)
 			}
 			if r.resetAt != wantReset {
-				t.Fatalf("consumer %d: reset at %d, want %d", i, r.resetAt, wantReset)
+				t.Fatalf("decodejobs=%d consumer %d: reset at %d, want %d", djobs, i, r.resetAt, wantReset)
 			}
 			if !reflect.DeepEqual(r.blks, wantBlks) {
-				t.Fatalf("consumer %d: stream differs from ForEachWindowed", i)
+				t.Fatalf("decodejobs=%d consumer %d: stream differs from ForEachWindowed", djobs, i)
 			}
 		}
 		if err := l.Close(); err != nil {
@@ -240,7 +303,7 @@ func TestProfileOrgsJobsConcurrentLogs(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			got, err := ProfileOrgsJobs(l, specs, 4)
+			got, err := ProfileOrgsJobs(l, specs, 4, 2+int(seed))
 			if err != nil {
 				t.Error(err)
 				return
